@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's evaluation artefacts (a
+figure or the inline worked examples) at a reduced-but-faithful scale, and
+asserts the paper's qualitative claims about it on the produced data.  Run
+with::
+
+    pytest benchmarks/ --benchmark-only
+"""

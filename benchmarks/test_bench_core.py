@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the core primitives the figures are built from.
+
+Not a paper artefact, but useful regression guards: the DES task-server
+hot path, the strategy decision loop, and the analytic evaluators.
+"""
+
+import random
+
+import pytest
+
+from repro.core import IterativeRedundancy, ProgressiveRedundancy, analysis
+from repro.core.runner import bernoulli_source, monte_carlo, run_task
+from repro.dca import DcaConfig, run_dca
+
+
+@pytest.mark.benchmark(group="core")
+def test_bench_iterative_monte_carlo(benchmark):
+    est = benchmark(
+        monte_carlo, lambda: IterativeRedundancy(4), 0.7, 2_000, seed=1
+    )
+    assert est.cost_factor == pytest.approx(analysis.iterative_cost(0.7, 4), rel=0.1)
+
+
+@pytest.mark.benchmark(group="core")
+def test_bench_progressive_cost_closed_form(benchmark):
+    value = benchmark(analysis.progressive_cost, 0.7, 39)
+    assert value == pytest.approx(analysis.progressive_cost_dp(0.7, 39), rel=1e-9)
+
+
+@pytest.mark.benchmark(group="core")
+def test_bench_des_throughput(benchmark):
+    def run():
+        return run_dca(
+            DcaConfig(
+                strategy=ProgressiveRedundancy(9),
+                tasks=2_000,
+                nodes=300,
+                reliability=0.7,
+                seed=3,
+            )
+        )
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.tasks_completed == 2_000
+
+
+@pytest.mark.benchmark(group="core")
+def test_bench_single_task_decision_loop(benchmark):
+    rng = random.Random(0)
+
+    def one_task():
+        return run_task(IterativeRedundancy(4), bernoulli_source(rng, 0.7))
+
+    verdict = benchmark(one_task)
+    assert verdict.jobs_used >= 4

@@ -1,0 +1,13 @@
+"""Benchmark: recompute Table E1 (the paper's inline worked examples)."""
+
+import pytest
+
+from repro.experiments import examples_table
+
+
+@pytest.mark.benchmark(group="examples")
+def test_bench_examples_table(benchmark):
+    rows = benchmark(examples_table.compute)
+    assert rows, "no example rows produced"
+    disagreements = [row.claim for row in rows if not row.agrees]
+    assert not disagreements, f"examples disagree with the paper: {disagreements}"

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 3 (analytic reliability vs cost, r = 0.7)."""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_figure3(benchmark):
+    result = benchmark(figure3.compute)
+    tr, pr, ir = result.series
+    # Equal k: PR matches TR's reliability at lower cost.
+    for tr_point, pr_point in zip(tr.points, pr.points):
+        assert pr_point.reliability == pytest.approx(tr_point.reliability)
+        if tr_point.cost > 1:
+            assert pr_point.cost < tr_point.cost
+    # The k = 19 anchor points of the paper.
+    k19_tr = next(p for p in tr.points if p.label == "k=19")
+    k19_pr = next(p for p in pr.points if p.label == "k=19")
+    d4_ir = next(p for p in ir.points if p.label == "d=4")
+    assert k19_tr.reliability == pytest.approx(0.967, abs=0.001)
+    assert k19_pr.cost == pytest.approx(14.17, abs=0.05)
+    assert d4_ir.cost == pytest.approx(9.35, abs=0.05)
+    assert d4_ir.reliability == pytest.approx(0.967, abs=0.001)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_bench_figure3_render(benchmark):
+    result = figure3.compute()
+    text = benchmark(figure3.render, result)
+    assert "Figure 3" in text

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 5(a) (DES reliability vs cost, r = 0.7).
+
+Reduced scale (one replication, 2,000 tasks, 300 nodes, three points per
+technique) so the benchmark stays in seconds; the CLI's ``--scale full``
+runs the paper-sized version.
+"""
+
+import pytest
+
+from repro.experiments import figure5a
+
+
+def regenerate():
+    return figure5a.compute(
+        ks=(3, 9, 19), ds=(2, 4, 6), tasks=2_000, nodes=300, replications=1, seed=2
+    )
+
+
+@pytest.mark.benchmark(group="figure5a")
+def test_bench_figure5a(benchmark):
+    result = benchmark(regenerate)
+    for series in result.series:
+        for point in series.points:
+            # The simulation tracks the closed forms (paper: "closely
+            # agrees with our analytical predictions").
+            assert point.cost == pytest.approx(point.extra["analytic_cost"], rel=0.06)
+            assert point.reliability == pytest.approx(
+                point.extra["analytic_reliability"], abs=0.035
+            )
+    # Ordering at the shared ~9x cost point: IR(d=4) > TR(k=9).
+    tr9 = next(p for p in result.series_by_name("TR").points if p.label == "k=9")
+    ir4 = next(p for p in result.series_by_name("IR").points if p.label == "d=4")
+    assert abs(ir4.cost - tr9.cost) < 1.0
+    assert ir4.reliability > tr9.reliability

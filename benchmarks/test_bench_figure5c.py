@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 5(c) (improvement over TR vs r)."""
+
+import pytest
+
+from repro.experiments import figure5c
+
+
+@pytest.mark.benchmark(group="figure5c")
+def test_bench_figure5c(benchmark):
+    result = benchmark(figure5c.compute)
+    pr_points = result.series_by_name("PR improvement").points
+    ir_points = result.series_by_name("IR improvement").points
+    pr = {p.cost: p.reliability for p in pr_points}
+    ir = {p.cost: p.reliability for p in ir_points}
+
+    # PR improvement rises monotonically and approaches 2.0.
+    ordered = [pr[r] for r in sorted(pr)]
+    assert ordered == sorted(ordered)
+    assert 1.8 < ordered[-1] <= 2.0
+
+    # IR: >= ~1.6 near r = 0.55, peak > 2.5 around r ~ 0.86-0.93, easing
+    # off as r -> 1 (paper: 1.6 / 2.8 / 2.4).
+    ir_ordered = [(r, ir[r]) for r in sorted(ir)]
+    assert ir_ordered[0][1] >= 1.5
+    peak_r, peak_value = max(ir_ordered, key=lambda rv: rv[1])
+    assert 0.8 <= peak_r <= 0.95
+    assert peak_value > 2.5
+    assert ir_ordered[-1][1] < peak_value
+
+    # IR always beats PR.
+    for r in pr:
+        assert ir[r] > pr[r]
+
+
+@pytest.mark.benchmark(group="figure5c")
+def test_bench_figure5c_simulation_check(benchmark):
+    result = benchmark(
+        figure5c.simulate_check,
+        r_values=(0.7,),
+        tasks=2_000,
+        nodes=300,
+        replications=1,
+    )
+    point = result.series[0].points[0]
+    assert 1.6 < point.reliability < 2.4  # analytic value is ~2.03

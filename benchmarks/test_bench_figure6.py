@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 6 (response time vs cost factor)."""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+def regenerate():
+    return figure6.compute(
+        ks=(3, 9, 19), ds=(2, 4, 6), tasks=2_000, nodes=300, replications=1, seed=6
+    )
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_bench_figure6(benchmark):
+    result = benchmark(regenerate)
+    tr = {p.label: p for p in result.series_by_name("TR").points}
+    pr = {p.label: p for p in result.series_by_name("PR").points}
+    ir = result.series_by_name("IR").points
+
+    # PR responds slower than TR at the same k; the paper measures up to
+    # 2.5x across its instances.
+    for label, pr_point in pr.items():
+        ratio = pr_point.reliability / tr[label].reliability
+        assert 1.1 < ratio < 3.2
+
+    # IR at comparable cost: the paper's 1.4-2.8x band (with headroom for
+    # the reduced scale's noise).
+    tr_points = list(tr.values())
+    for point in ir:
+        if point.cost < 2.5:
+            continue  # degenerate small-d points
+        nearest = min(tr_points, key=lambda t: abs(t.cost - point.cost))
+        ratio = point.reliability / nearest.reliability
+        assert 1.2 < ratio < 3.5
+
+    # Loaded measurements stay near the unloaded analytic model thanks to
+    # follow-up dispatch priority.
+    for series in result.series:
+        for point in series.points:
+            assert point.reliability == pytest.approx(
+                point.extra["analytic_response"], rel=0.2
+            )

@@ -1,0 +1,71 @@
+"""Benchmarks of the supporting substrates: volunteer deployment
+throughput, the SAT range checkers, and grid execution.
+
+Regression guards for the machinery the figures run on.
+"""
+
+import random
+
+import pytest
+
+from repro.core import IterativeRedundancy, TraditionalRedundancy
+from repro.grid import GridConfig, run_grid
+from repro.sat.formula import random_3sat
+from repro.sat.solver import check_range, check_range_numpy, dpll_satisfiable
+from repro.volunteer import PlanetLabTestbed, VolunteerConfig, run_volunteer
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_bench_volunteer_deployment(benchmark):
+    def deploy():
+        return run_volunteer(
+            VolunteerConfig(
+                strategy=IterativeRedundancy(3),
+                testbed=PlanetLabTestbed(nodes=100),
+                sat_vars=12,
+                tasks=60,
+                seed=1,
+            )
+        )
+
+    report = benchmark.pedantic(deploy, rounds=3, iterations=1)
+    assert report.tasks_completed == 60
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_bench_grid_run(benchmark):
+    def execute():
+        return run_grid(
+            GridConfig(
+                strategy=TraditionalRedundancy(3),
+                tasks=1_000,
+                sites=8,
+                anti_affinity=True,
+                seed=2,
+            )
+        )
+
+    report = benchmark.pedantic(execute, rounds=3, iterations=1)
+    assert report.tasks_completed == 1_000
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_bench_sat_numpy_checker(benchmark):
+    formula = random_3sat(18, 77, random.Random(3))
+
+    def sweep():
+        return check_range_numpy(formula, 0, formula.assignment_space)
+
+    result = benchmark(sweep)
+    assert result == dpll_satisfiable(formula)
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_bench_sat_pure_python_checker(benchmark):
+    formula = random_3sat(12, 51, random.Random(4))
+
+    def sweep():
+        return check_range(formula, 0, formula.assignment_space)
+
+    result = benchmark(sweep)
+    assert result == check_range_numpy(formula, 0, formula.assignment_space)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Adapting to a changing environment -- redundancy without knowing r.
+
+Iterative redundancy's selling point: the operator specifies the margin d
+(equivalently, "how much improvement is needed"), and the *cost adapts*
+to whatever the actual node reliability turns out to be, while k-vote
+schemes pay a fixed k regardless.
+
+This example sweeps a pool whose reliability degrades from 0.95 to 0.60
+(e.g. a malware wave spreading through a volunteer population, or churn
+replacing good machines with flaky ones) and shows that:
+
+* traditional redundancy's cost is flat but its reliability collapses;
+* iterative redundancy spends *more* exactly when nodes get worse,
+  holding reliability far higher at comparable average cost -- with the
+  same parameter d throughout, chosen without reliability knowledge.
+
+It also exercises the Section 5.3 relaxations: a heterogeneous Beta pool
+and node churn.
+
+Run:
+    python examples/adaptive_environment.py
+"""
+
+from repro.core import IterativeRedundancy, TraditionalRedundancy, analysis
+from repro.core.distributions import BetaReliability
+from repro.dca import DcaConfig, run_dca
+
+
+def main() -> None:
+    print("Pool reliability degrades; strategies keep their parameters.")
+    print("-" * 72)
+    print(f"{'r':>5}  {'TR k=9 cost':>11} {'TR k=9 rel':>10}  {'IR d=4 cost':>11} {'IR d=4 rel':>10}")
+    for r in (0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6):
+        pool = BetaReliability.with_mean(r, concentration=12.0)
+        tr = run_dca(
+            DcaConfig(
+                strategy=TraditionalRedundancy(9),
+                tasks=4_000,
+                nodes=400,
+                reliability=pool,
+                seed=31,
+                arrival_rate=1.0,
+                departure_rate=1.0,
+            )
+        )
+        ir = run_dca(
+            DcaConfig(
+                strategy=IterativeRedundancy(4),
+                tasks=4_000,
+                nodes=400,
+                reliability=pool,
+                seed=31,
+                arrival_rate=1.0,
+                departure_rate=1.0,
+            )
+        )
+        print(
+            f"{r:5.2f}  {tr.cost_factor:11.2f} {tr.system_reliability:10.4f}  "
+            f"{ir.cost_factor:11.2f} {ir.system_reliability:10.4f}"
+        )
+    print()
+    print("IR's cost rises as nodes degrade (it buys agreement where it is")
+    print("scarce) while holding reliability; TR's k = 9 budget is spent")
+    print("identically everywhere and its reliability falls off a cliff.")
+    print()
+    print("Analytic view (Equation (6) vs Equation (2)):")
+    for r in (0.9, 0.75, 0.6):
+        print(
+            f"  r={r:4.2f}:  R_TR(k=9) = {analysis.traditional_reliability(r, 9):.4f}   "
+            f"R_IR(d=4) = {analysis.iterative_reliability(r, 4):.4f}   "
+            f"C_IR(d=4) = {analysis.iterative_cost(r, 4):.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

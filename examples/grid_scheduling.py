@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Grid computing: replica placement matters as much as the vote.
+
+The paper's DCA examples include grid systems (Globus).  Grids fail in
+*correlated* units -- a bad node image or a broken shared filesystem
+poisons a whole site for a task -- which is exactly the Section 5.3
+relaxation of the independence assumption.  This example runs the same
+redundant computation across an 8-site grid three ways:
+
+1. random placement (replicas may share a poisoned site),
+2. anti-affinity placement (never two replicas of one task per site),
+3. anti-affinity plus iterative redundancy (the margin rule now spends
+   exactly the extra replicas that site-level disagreement demands).
+
+Run:
+    python examples/grid_scheduling.py
+"""
+
+from repro.core import IterativeRedundancy, TraditionalRedundancy, analysis
+from repro.grid import GridConfig, MaintenanceWindow, run_grid
+
+
+def main() -> None:
+    base = dict(
+        tasks=4_000,
+        sites=8,
+        slots_per_site=16,
+        site_fault_prob=0.15,
+        job_fault_prob=0.05,
+        seed=13,
+        # one site has a maintenance window mid-run
+        maintenance={3: (MaintenanceWindow(start=10.0, duration=15.0),)},
+    )
+    marginal_r = GridConfig(strategy=TraditionalRedundancy(3), **base).expected_job_reliability()
+    print(f"8-site grid; site poisoning 0.15/task, residual faults 0.05")
+    print(f"marginal per-job reliability r = {marginal_r:.3f}")
+    print(f"Equation (2) bound for k=5 at that r: "
+          f"{analysis.traditional_reliability(marginal_r, 5):.4f}")
+    print()
+    print(f"{'configuration':44s} {'cost':>6} {'reliability':>12}")
+    runs = [
+        ("TR k=5, random placement", TraditionalRedundancy(5), "random", False),
+        ("TR k=5, anti-affinity", TraditionalRedundancy(5), "random", True),
+        ("IR d=4, anti-affinity", IterativeRedundancy(4), "least_loaded", True),
+    ]
+    for label, strategy, policy, anti in runs:
+        report = run_grid(
+            GridConfig(strategy=strategy, policy=policy, anti_affinity=anti, **base)
+        )
+        print(f"{label:44s} {report.cost_factor:6.2f} {report.system_reliability:12.4f}")
+    print()
+    print("Co-located replicas inherit their site's fate, so random placement")
+    print("underperforms the independence-based analysis; anti-affinity restores")
+    print("it, and iterative redundancy then buys more reliability per job.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: compare the three redundancy techniques in five minutes.
+
+Builds the paper's running example (node reliability r = 0.7), shows the
+closed-form predictions of Equations (1)-(6), then verifies them with a
+discrete-event simulation of a 1,000-node distributed computation
+architecture -- the Figure 1 system model.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import (
+    IterativeRedundancy,
+    ProgressiveRedundancy,
+    TraditionalRedundancy,
+    analysis,
+)
+from repro.dca import DcaConfig, run_dca
+
+R = 0.7  # average node reliability (unknown to iterative redundancy!)
+
+
+def main() -> None:
+    print("Closed-form predictions at r = 0.7 (Equations (1)-(6))")
+    print("-" * 60)
+    rows = [
+        ("traditional k=19", analysis.traditional_cost(19), analysis.traditional_reliability(R, 19)),
+        ("progressive k=19", analysis.progressive_cost(R, 19), analysis.progressive_reliability(R, 19)),
+        ("iterative   d=4 ", analysis.iterative_cost(R, 4), analysis.iterative_reliability(R, 4)),
+    ]
+    for name, cost, reliability in rows:
+        print(f"  {name}:  cost {cost:6.2f}x   reliability {reliability:.4f}")
+    print()
+    print("Same ~0.97 reliability; iterative redundancy pays half of what")
+    print("traditional redundancy pays -- without ever being told r.")
+    print()
+
+    print("Simulation check (10,000 tasks, 1,000 nodes, Byzantine collusion)")
+    print("-" * 60)
+    for strategy in (
+        TraditionalRedundancy(19),
+        ProgressiveRedundancy(19),
+        IterativeRedundancy(4),
+    ):
+        report = run_dca(
+            DcaConfig(strategy=strategy, tasks=10_000, nodes=1_000, reliability=R, seed=42)
+        )
+        print(
+            f"  {strategy.describe():20s} cost {report.cost_factor:6.2f}x   "
+            f"reliability {report.system_reliability:.4f}   "
+            f"response {report.mean_response_time:.2f}"
+        )
+    print()
+    print("Tuning without knowing r: pick d for the improvement you want.")
+    print("-" * 60)
+    for d in (1, 2, 3, 4, 5, 6):
+        print(
+            f"  d={d}:  reliability {analysis.iterative_reliability(R, d):.4f}   "
+            f"cost {analysis.iterative_cost(R, d):5.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Volunteer computing: solve a 3-SAT problem on unreliable volunteers.
+
+Recreates the paper's BOINC deployment in miniature: a random 3-SAT
+problem is decomposed into range tasks (the paper used 22 variables and
+140 tasks; this example uses 14 variables and 56 tasks so honest clients
+can *really* enumerate their slices in seconds), distributed to a
+PlanetLab-like testbed with 30% seeded faults plus natural faults and
+unresponsive machines, and validated with iterative redundancy.
+
+The deployment never learns the true node reliability; afterwards we
+derive it from the measured cost, exactly like Section 4.2 derives
+0.64 < r < 0.67.
+
+Run:
+    python examples/volunteer_sat.py
+"""
+
+from repro.core import IterativeRedundancy, TraditionalRedundancy
+from repro.volunteer import PlanetLabTestbed, VolunteerConfig, run_volunteer
+
+
+def main() -> None:
+    testbed = PlanetLabTestbed(nodes=120)
+    print(f"Testbed: {testbed.nodes} PlanetLab-like volunteers")
+    print(f"  seeded fault rate      {testbed.seeded_fault_prob}")
+    print(f"  natural faults (max)   {testbed.natural_fault_max}  <- unknown to the algorithms")
+    print(f"  true pool reliability  ~{testbed.expected_reliability():.3f}")
+    print()
+
+    for strategy in (TraditionalRedundancy(9), IterativeRedundancy(4)):
+        report = run_volunteer(
+            VolunteerConfig(
+                strategy=strategy,
+                testbed=testbed,
+                sat_vars=14,
+                tasks=56,
+                seed=7,
+                really_compute=True,  # honest clients enumerate their slice
+            )
+        )
+        print(f"{strategy.describe()}")
+        print(f"  tasks correct        {report.tasks_correct}/{report.tasks_completed}")
+        print(f"  cost factor          {report.cost_factor:.2f}x")
+        print(f"  deadline misses      {report.deadline_misses}")
+        print(
+            f"  problem answer       {'SAT' if report.problem_answer else 'UNSAT'}"
+            f" (truth: {'SAT' if report.problem_truth else 'UNSAT'})"
+            f" -> {'CORRECT' if report.problem_correct else 'WRONG'}"
+        )
+        print(f"  derived node r       {report.derived_reliability:.3f}")
+        print()
+    print("Both techniques recover the answer; iterative redundancy does it")
+    print("with higher per-task reliability per unit of cost, and the derived")
+    print("r lands below the seeded 0.7 -- the natural faults, measured.")
+
+
+if __name__ == "__main__":
+    main()

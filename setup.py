@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline, where the
+environment lacks the ``wheel`` package required by the PEP 517 editable
+path.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro: a reproduction of "Smart Redundancy for Distributed Computation".
+
+Brun, Edwards, Bang, Medvidovic -- ICDCS 2011.
+
+The package implements the paper's contribution -- **iterative
+redundancy** -- together with every substrate its evaluation depends on:
+
+* :mod:`repro.core` -- the redundancy strategies (traditional,
+  progressive, iterative, plus credibility-based and adaptive-replication
+  comparators) and their closed-form analysis (Equations (1)-(6));
+* :mod:`repro.sim` -- a discrete-event simulation engine (the XDEVS
+  substitute);
+* :mod:`repro.dca` -- the paper's Figure-1 system model: task server,
+  node pool, churn, Byzantine failure models;
+* :mod:`repro.sat` -- the 3-SAT workload used in the BOINC deployment;
+* :mod:`repro.volunteer` -- a BOINC-like pull-model volunteer-computing
+  substrate on a simulated PlanetLab testbed;
+* :mod:`repro.experiments` -- harnesses regenerating every figure in the
+  paper's evaluation (run ``python -m repro.experiments --list``).
+
+Quickstart::
+
+    from repro.core import IterativeRedundancy
+    from repro.dca import DcaConfig, run_dca
+
+    report = run_dca(DcaConfig(
+        tasks=10_000, nodes=1_000, reliability=0.7, seed=7,
+        strategy=IterativeRedundancy(d=4),
+    ))
+    print(report.system_reliability, report.cost_factor)
+"""
+
+from repro.core import (
+    AdaptiveReplication,
+    ComplexIterativeRedundancy,
+    CredibilityManager,
+    CredibilityStrategy,
+    IterativeRedundancy,
+    NoRedundancy,
+    ProgressiveRedundancy,
+    RedundancyStrategy,
+    TraditionalRedundancy,
+    analysis,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveReplication",
+    "ComplexIterativeRedundancy",
+    "CredibilityManager",
+    "CredibilityStrategy",
+    "IterativeRedundancy",
+    "NoRedundancy",
+    "ProgressiveRedundancy",
+    "RedundancyStrategy",
+    "TraditionalRedundancy",
+    "analysis",
+    "__version__",
+]

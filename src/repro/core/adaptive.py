@@ -1,0 +1,145 @@
+"""BOINC-style adaptive replication -- a comparator (Section 5.1).
+
+BOINC's adaptive replication "prevents replication of a task if a trusted
+node returns its result": each host accumulates trust by having results
+validated against a quorum; once trusted, its results are accepted without
+replication (with occasional random audits).  The paper argues malicious
+nodes can earn trust and then defect, which the ablation experiments
+reproduce (see ``repro.experiments.ablations``).
+
+Implementation sketch (mirrors BOINC's host scheduling logic in spirit):
+
+* every node starts untrusted; untrusted nodes' tasks use a quorum of
+  ``quorum`` matching results (dispatch lazily like progressive
+  redundancy with consensus = quorum);
+* a node becomes trusted after ``trust_after`` consecutive validated
+  results; a validation failure resets its streak;
+* a trusted node's first result is accepted outright, except that with
+  probability ``audit_rate`` the task is replicated anyway (the audit),
+  keeping trust honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import random
+
+from repro.core.strategy import RedundancyStrategy
+from repro.core.types import Decision, JobOutcome, TaskVerdict, VoteState
+
+
+@dataclass
+class TrustRecord:
+    """Consecutive-validation streak for one node."""
+
+    streak: int = 0
+    validated: int = 0
+    invalidated: int = 0
+
+
+class AdaptiveReplication(RedundancyStrategy):
+    """Trust-gated replication in the style of BOINC adaptive replication.
+
+    Implements :class:`~repro.core.strategy.NodeAware`; requires node ids
+    on outcomes.
+
+    Args:
+        quorum: Matching results required for untrusted (or audited) tasks.
+        trust_after: Consecutive validations before a node is trusted.
+        audit_rate: Probability a trusted result is replicated anyway.
+        rng: Source of audit randomness (injectable for determinism).
+    """
+
+    def __init__(
+        self,
+        quorum: int = 2,
+        trust_after: int = 10,
+        audit_rate: float = 0.05,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if quorum < 2:
+            raise ValueError(f"quorum must be at least 2, got {quorum}")
+        if trust_after < 1:
+            raise ValueError(f"trust_after must be positive, got {trust_after}")
+        if not 0.0 <= audit_rate <= 1.0:
+            raise ValueError(f"audit_rate must lie in [0, 1], got {audit_rate}")
+        self.quorum = quorum
+        self.trust_after = trust_after
+        self.audit_rate = audit_rate
+        self.rng = rng or random.Random(0)
+        self._trust: Dict[int, TrustRecord] = {}
+        self._task_first_node: Dict[int, Optional[int]] = {}
+        self._task_nodes: Dict[int, Dict] = {}
+        self._task_audited: Dict[int, bool] = {}
+        self._current_task: Optional[int] = None
+        self.name = f"adaptive(q={quorum}, trust_after={trust_after})"
+
+    # ------------------------------------------------------------------
+    # Trust bookkeeping (NodeAware)
+    # ------------------------------------------------------------------
+
+    def trust_record(self, node_id: int) -> TrustRecord:
+        record = self._trust.get(node_id)
+        if record is None:
+            record = TrustRecord()
+            self._trust[node_id] = record
+        return record
+
+    def is_trusted(self, node_id: Optional[int]) -> bool:
+        if node_id is None:
+            return False
+        return self.trust_record(node_id).streak >= self.trust_after
+
+    def record_outcome(self, task_id: int, outcome: JobOutcome) -> None:
+        self._current_task = task_id
+        if task_id not in self._task_first_node:
+            self._task_first_node[task_id] = outcome.node_id
+            self._task_audited[task_id] = self.rng.random() < self.audit_rate
+        if outcome.value is not None:
+            self._task_nodes.setdefault(task_id, {}).setdefault(
+                outcome.value, []
+            ).append(outcome.node_id)
+
+    def task_finished(self, task_id: int, verdict: TaskVerdict) -> None:
+        votes = self._task_nodes.pop(task_id, {})
+        self._task_first_node.pop(task_id, None)
+        self._task_audited.pop(task_id, None)
+        # Update trust: nodes agreeing with the accepted value validate,
+        # others invalidate, exactly as BOINC's validator would see it.
+        for value, node_ids in votes.items():
+            for node_id in node_ids:
+                if node_id is None:
+                    continue
+                record = self.trust_record(node_id)
+                if value == verdict.value:
+                    record.streak += 1
+                    record.validated += 1
+                else:
+                    record.streak = 0
+                    record.invalidated += 1
+
+    # ------------------------------------------------------------------
+    # RedundancyStrategy
+    # ------------------------------------------------------------------
+
+    def initial_jobs(self) -> int:
+        return 1
+
+    def decide(self, vote: VoteState) -> Decision:
+        task_id = self._current_task
+        if vote.leader is None:
+            return Decision.dispatch(1)
+        first_node = self._task_first_node.get(task_id) if task_id is not None else None
+        audited = self._task_audited.get(task_id, False) if task_id is not None else False
+        single_result = vote.total_completed == 1 and vote.responses == 1
+        if single_result and self.is_trusted(first_node) and not audited:
+            return Decision.accept(vote.leader)
+        # Replicated path: lazily build a quorum of matching results.
+        if vote.leader_count >= self.quorum:
+            return Decision.accept(vote.leader)
+        return Decision.dispatch(self.quorum - vote.leader_count)
+
+    def describe(self) -> str:
+        return self.name

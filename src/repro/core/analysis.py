@@ -1,0 +1,557 @@
+"""Closed-form analysis of the three redundancy techniques.
+
+Implements Equations (1) through (6) of the paper, plus independent
+dynamic-programming cross-checks, the paper's ``d / (2r - 1)`` cost
+approximation, wave-count/response-time models used by Figure 6, and the
+equal-reliability cost-comparison machinery behind Figure 5(c).
+
+Notation follows the paper:
+
+* ``r``  -- average probability a single job returns the correct result,
+* ``k``  -- vote size for traditional (TR) and progressive (PR) redundancy,
+* ``d``  -- required margin for iterative redundancy (IR),
+* ``R(r)`` -- system reliability, ``C(r)`` -- cost factor (expected jobs
+  per task, relative to a redundancy-free system).
+
+Derivations beyond the paper's text, used for cross-checks:
+
+* PR's expected cost equals the expected *stopping time* of drawing i.i.d.
+  correct/wrong votes until one side holds ``(k+1)/2``; the wave-based
+  algorithm dispatches exactly that many jobs because a wave can only
+  close the vote if *all* its jobs agree (each wave is exactly the
+  leader's deficit).
+* IR's margin performs a +-1 random walk (up with probability ``r``)
+  absorbed at +-d; the same all-or-nothing wave argument applies, so the
+  expected cost is the classical gambler's-ruin expected duration
+
+      C_IR(r, d) = d * (2 R - 1) / (2 r - 1),
+      R = r^d / (r^d + (1-r)^d),
+
+  which converges to the paper's approximation ``d / (2r - 1)`` as
+  ``R -> 1``, and the reliability is the classical absorption probability
+  ``1 / (1 + rho^d)`` with ``rho = (1-r)/r`` -- exactly Equation (6).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.confidence import margin_confidence
+
+__all__ = [
+    "traditional_cost",
+    "traditional_reliability",
+    "progressive_cost",
+    "progressive_cost_dp",
+    "progressive_reliability",
+    "progressive_expected_waves",
+    "iterative_cost",
+    "iterative_cost_series",
+    "iterative_cost_approx",
+    "iterative_reliability",
+    "iterative_expected_waves",
+    "iterative_job_distribution",
+    "iterative_job_quantile",
+    "progressive_cost_heterogeneous",
+    "traditional_reliability_heterogeneous",
+    "expected_wave_duration",
+    "expected_response_time",
+    "continuous_traditional_k",
+    "continuous_iterative_margin",
+    "improvement_over_traditional",
+]
+
+
+def _validate_r(r: float) -> None:
+    if not 0.0 < r < 1.0:
+        raise ValueError(f"node reliability r must lie strictly in (0, 1), got {r}")
+
+
+def _validate_k(k: int) -> None:
+    if k < 1 or k % 2 == 0:
+        raise ValueError(f"k must be a positive odd integer, got {k}")
+
+
+def _validate_d(d: int) -> None:
+    if d < 1:
+        raise ValueError(f"margin d must be a positive integer, got {d}")
+
+
+# ----------------------------------------------------------------------
+# Traditional redundancy: Equations (1) and (2)
+# ----------------------------------------------------------------------
+
+def traditional_cost(k: int) -> float:
+    """Equation (1): C_TR(r) = k, independent of r."""
+    _validate_k(k)
+    return float(k)
+
+
+def traditional_reliability(r: float, k: int) -> float:
+    """Equation (2): probability at most (k-1)/2 of k jobs fail.
+
+    R_TR(r) = sum_{i=0}^{(k-1)/2} C(k, i) r^{k-i} (1-r)^i
+    """
+    _validate_r(r)
+    _validate_k(k)
+    q = 1.0 - r
+    return sum(
+        math.comb(k, i) * r ** (k - i) * q**i for i in range((k - 1) // 2 + 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# Progressive redundancy: Equations (3) and (4)
+# ----------------------------------------------------------------------
+
+def progressive_reliability(r: float, k: int) -> float:
+    """Equation (4): identical to traditional redundancy's reliability."""
+    return traditional_reliability(r, k)
+
+
+def progressive_cost(r: float, k: int) -> float:
+    """Equation (3), literally as printed in the paper.
+
+    C_PR(r) = (k+1)/2
+              + sum_{i=(k+3)/2}^{k} sum_{j=i-(k+1)/2}^{(k-1)/2}
+                    C(i-1, j) r^{i-1-j} (1-r)^j
+
+    Interpretation: the consensus size must always be dispatched; each
+    additional job ``i`` is needed exactly when the first ``i - 1``
+    responses contain no consensus, i.e. both the correct count and the
+    wrong count are below (k+1)/2.
+    """
+    _validate_r(r)
+    _validate_k(k)
+    m = (k + 1) // 2
+    q = 1.0 - r
+    total = float(m)
+    for i in range(m + 1, k + 1):
+        for j in range(i - m, m):
+            total += math.comb(i - 1, j) * r ** (i - 1 - j) * q**j
+    return total
+
+
+def progressive_cost_dp(r: float, k: int) -> float:
+    """Independent cross-check of Equation (3) via the wave process.
+
+    Simulates the exact wave algorithm in probability space: state
+    ``(a, b)`` (correct and wrong response counts), each wave dispatches
+    ``m - max(a, b)`` jobs whose correct/wrong split is binomial(r).
+    Returns the expected total number of jobs dispatched.
+    """
+    _validate_r(r)
+    _validate_k(k)
+    m = (k + 1) // 2
+    q = 1.0 - r
+
+    @lru_cache(maxsize=None)
+    def expected_from(a: int, b: int) -> float:
+        if a >= m or b >= m:
+            return 0.0
+        wave = m - max(a, b)
+        total = float(wave)
+        for correct in range(wave + 1):
+            p = math.comb(wave, correct) * r**correct * q ** (wave - correct)
+            total += p * expected_from(a + correct, b + (wave - correct))
+        return total
+
+    result = expected_from(0, 0)
+    expected_from.cache_clear()
+    return result
+
+
+def progressive_expected_waves(r: float, k: int) -> float:
+    """Expected number of dispatch rounds for k-vote PR (used by Fig. 6)."""
+    _validate_r(r)
+    _validate_k(k)
+    m = (k + 1) // 2
+    q = 1.0 - r
+
+    @lru_cache(maxsize=None)
+    def waves_from(a: int, b: int) -> float:
+        if a >= m or b >= m:
+            return 0.0
+        wave = m - max(a, b)
+        total = 1.0
+        for correct in range(wave + 1):
+            p = math.comb(wave, correct) * r**correct * q ** (wave - correct)
+            total += p * waves_from(a + correct, b + (wave - correct))
+        return total
+
+    result = waves_from(0, 0)
+    waves_from.cache_clear()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Iterative redundancy: Equations (5) and (6)
+# ----------------------------------------------------------------------
+
+def iterative_reliability(r: float, d: int) -> float:
+    """Equation (6): R_IR(r) = r^d / (r^d + (1-r)^d)."""
+    _validate_r(r)
+    _validate_d(d)
+    return margin_confidence(r, d)
+
+
+def iterative_cost(r: float, d: int) -> float:
+    """Exact expected cost of iterative redundancy (closed form).
+
+    The margin performs a +-1 random walk (up w.p. r) absorbed at +-d;
+    the gambler's-ruin expected duration gives
+
+        C_IR(r, d) = d * (2 R_IR(r, d) - 1) / (2 r - 1),
+
+    with the removable singularity C_IR(1/2, d) = d^2 (symmetric walk).
+    Matches the paper's Equation (5) series (see
+    :func:`iterative_cost_series`) and approaches ``d / (2r - 1)`` for
+    non-trivial d (the paper's approximation).
+    """
+    _validate_r(r)
+    _validate_d(d)
+    if abs(r - 0.5) < 1e-12:
+        return float(d * d)
+    reliability = iterative_reliability(r, d)
+    return d * (2.0 * reliability - 1.0) / (2.0 * r - 1.0)
+
+
+def iterative_cost_approx(r: float, d: int) -> float:
+    """The paper's approximation: C_IR(r) ~ d / (2r - 1) for non-trivial d."""
+    _validate_r(r)
+    _validate_d(d)
+    if r <= 0.5:
+        raise ValueError("approximation d/(2r-1) requires r > 0.5")
+    return d / (2.0 * r - 1.0)
+
+
+def iterative_job_distribution(
+    r: float, d: int, *, tail: float = 1e-12, max_jobs: int = 1_000_000
+) -> Iterator[Tuple[int, float]]:
+    """Distribution of total jobs used by IR: pairs ``(d + 2b, probability)``.
+
+    Equation (5) weights each possible total ``d + 2b`` (ending with
+    ``d + b`` votes on one side and ``b`` on the other) by its
+    probability.  Computed by evolving the margin random walk one step at
+    a time and recording absorption mass at +-d; iteration stops once the
+    unabsorbed mass falls below ``tail``.
+    """
+    _validate_r(r)
+    _validate_d(d)
+    q = 1.0 - r
+    # interior[margin] = probability of being unabsorbed at this margin.
+    interior: Dict[int, float] = {0: 1.0}
+    steps = 0
+    while interior and steps < max_jobs:
+        steps += 1
+        nxt: Dict[int, float] = {}
+        absorbed = 0.0
+        for margin, mass in interior.items():
+            for delta, p in ((1, r), (-1, q)):
+                new = margin + delta
+                weight = mass * p
+                if abs(new) >= d:
+                    absorbed += weight
+                else:
+                    nxt[new] = nxt.get(new, 0.0) + weight
+        if absorbed > 0.0:
+            yield steps, absorbed
+        interior = nxt
+        if sum(interior.values()) < tail:
+            break
+
+
+def iterative_job_quantile(r: float, d: int, q: float) -> int:
+    """The q-quantile of IR's per-task job count.
+
+    Iterative redundancy is unbounded in the worst case (Section 5.2);
+    this quantifies the tail: the smallest total job count n such that
+    P(task finishes within n jobs) >= q.  Useful for capacity planning
+    and for interpreting the "maximum jobs for any single task" measure
+    the simulations record.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must lie strictly in (0, 1), got {q}")
+    cumulative = 0.0
+    last = d
+    for jobs, prob in iterative_job_distribution(r, d, tail=1e-15):
+        cumulative += prob
+        last = jobs
+        if cumulative >= q:
+            return jobs
+    return last  # pragma: no cover - tail cutoff below any sane q
+
+
+def iterative_cost_series(r: float, d: int, *, tail: float = 1e-12) -> float:
+    """Equation (5) evaluated as a (truncated) series -- cross-checks
+    :func:`iterative_cost`.
+
+    C_IR(r) = sum_b (d + 2b) P(d + 2b jobs produce d + b identical results)
+    """
+    remaining_mass = 1.0
+    total = 0.0
+    last_jobs = d
+    for jobs, prob in iterative_job_distribution(r, d, tail=tail):
+        total += jobs * prob
+        remaining_mass -= prob
+        last_jobs = jobs
+    # Bound the truncation error: the surviving mass needs at least one
+    # more step each; attribute it to the next possible total.
+    total += max(0.0, remaining_mass) * (last_jobs + 2)
+    return total
+
+
+def iterative_expected_waves(r: float, d: int, *, tail: float = 1e-12) -> float:
+    """Expected number of dispatch rounds for IR (used by Fig. 6).
+
+    Evolves the *wave* process: a wave dispatches ``d - |margin|`` jobs at
+    once; the walk is absorbed when ``|margin|`` reaches ``d``.
+    """
+    _validate_r(r)
+    _validate_d(d)
+    q = 1.0 - r
+    interior: Dict[int, float] = {0: 1.0}
+    expected = 0.0
+    while interior:
+        mass_now = sum(interior.values())
+        if mass_now < tail:
+            break
+        expected += mass_now  # every surviving trajectory runs one more wave
+        nxt: Dict[int, float] = {}
+        for margin, mass in interior.items():
+            wave = d - abs(margin)
+            for correct in range(wave + 1):
+                p = math.comb(wave, correct) * r**correct * q ** (wave - correct)
+                new = margin + correct - (wave - correct)
+                if abs(new) >= d:
+                    continue  # absorbed; contributes no further waves
+                nxt[new] = nxt.get(new, 0.0) + mass * p
+        interior = nxt
+    return expected
+
+
+# ----------------------------------------------------------------------
+# Response-time models (Figure 6)
+# ----------------------------------------------------------------------
+
+def expected_wave_duration(
+    wave_size: int, *, low: float = 0.5, high: float = 1.5
+) -> float:
+    """Expected duration of a wave of ``wave_size`` parallel jobs.
+
+    Job durations are i.i.d. Uniform(low, high) (the paper's XDEVS setup);
+    a wave completes when its slowest job does, so the duration is the
+    maximum of ``wave_size`` draws:  E[max] = low + (high - low) * n/(n+1).
+    This models an unloaded system; the DES measures the loaded case.
+    """
+    if wave_size < 1:
+        raise ValueError(f"wave size must be positive, got {wave_size}")
+    n = wave_size
+    return low + (high - low) * n / (n + 1.0)
+
+
+def expected_response_time(
+    r: float,
+    strategy: str,
+    param: int,
+    *,
+    low: float = 0.5,
+    high: float = 1.5,
+    tail: float = 1e-10,
+) -> float:
+    """Unloaded-system expected response time per task, by technique.
+
+    Args:
+        strategy: ``"traditional"``, ``"progressive"``, or ``"iterative"``.
+        param: ``k`` for TR/PR, ``d`` for IR.
+
+    TR uses one wave of k jobs.  For PR/IR the expectation sums, over the
+    wave process, each wave's expected max-duration given its size.
+    """
+    _validate_r(r)
+    q = 1.0 - r
+    if strategy == "traditional":
+        return expected_wave_duration(param, low=low, high=high)
+    if strategy == "progressive":
+        m = (param + 1) // 2
+
+        @lru_cache(maxsize=None)
+        def time_from(a: int, b: int) -> float:
+            if a >= m or b >= m:
+                return 0.0
+            wave = m - max(a, b)
+            total = expected_wave_duration(wave, low=low, high=high)
+            for correct in range(wave + 1):
+                p = math.comb(wave, correct) * r**correct * q ** (wave - correct)
+                total += p * time_from(a + correct, b + (wave - correct))
+            return total
+
+        result = time_from(0, 0)
+        time_from.cache_clear()
+        return result
+    if strategy == "iterative":
+        d = param
+        interior: Dict[int, float] = {0: 1.0}
+        expected = 0.0
+        while interior and sum(interior.values()) >= tail:
+            nxt: Dict[int, float] = {}
+            for margin, mass in interior.items():
+                wave = d - abs(margin)
+                expected += mass * expected_wave_duration(wave, low=low, high=high)
+                for correct in range(wave + 1):
+                    p = math.comb(wave, correct) * r**correct * q ** (wave - correct)
+                    new = margin + correct - (wave - correct)
+                    if abs(new) >= d:
+                        continue
+                    nxt[new] = nxt.get(new, 0.0) + mass * p
+            interior = nxt
+        return expected
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+# ----------------------------------------------------------------------
+# Equal-reliability comparison (Figure 5c)
+# ----------------------------------------------------------------------
+
+def continuous_traditional_k(r: float, target: float) -> float:
+    """Real-valued k with R_TR(r, k) = target, via the Beta identity.
+
+    For odd k = 2m - 1, R_TR(r, k) = P(Bin(k, 1-r) <= m - 1) = I_r(m, m)
+    (the regularised incomplete Beta function), which extends smoothly to
+    real m.  Used to interpolate traditional redundancy's cost at an exact
+    reliability target when comparing techniques (Figure 5c).
+    """
+    _validate_r(r)
+    if not 0.5 < target < 1.0:
+        raise ValueError(f"target must lie in (0.5, 1), got {target}")
+    if r <= 0.5:
+        raise ValueError("traditional redundancy cannot exceed 0.5 reliability at r <= 0.5")
+    from scipy import optimize, special
+
+    def gap(m: float) -> float:
+        return special.betainc(m, m, r) - target
+
+    # gap(0.5+) < 0 possible; find a bracket by doubling.
+    lo, hi = 0.5, 1.0
+    while gap(hi) < 0:
+        hi *= 2.0
+        if hi > 1e7:
+            raise ArithmeticError("failed to bracket continuous k")
+    if gap(lo) > 0:
+        lo = 1e-9
+    m = optimize.brentq(gap, lo, hi, xtol=1e-12)
+    return 2.0 * m - 1.0
+
+
+def continuous_iterative_margin(r: float, target: float) -> float:
+    """Real-valued d with R_IR(r, d) = target (inverse of Equation (6))."""
+    _validate_r(r)
+    if not 0.5 < target < 1.0:
+        raise ValueError(f"target must lie in (0.5, 1), got {target}")
+    if r <= 0.5:
+        raise ValueError("iterative redundancy cannot exceed 0.5 reliability at r <= 0.5")
+    rho = (1.0 - r) / r
+    return math.log((1.0 - target) / target) / math.log(rho)
+
+
+def _iterative_cost_real(r: float, d_real: float, target: float) -> float:
+    """Closed-form IR cost with a real-valued margin (smooth interpolation)."""
+    if abs(r - 0.5) < 1e-12:
+        return d_real * d_real
+    return d_real * (2.0 * target - 1.0) / (2.0 * r - 1.0)
+
+
+def improvement_over_traditional(r: float, k: int = 19) -> Tuple[float, float]:
+    """Figure 5(c): cost-factor improvement of PR and IR over TR at equal
+    reliability, as a function of node reliability ``r``.
+
+    Methodology (the paper does not spell out its interpolation; this
+    matches all of its quoted values -- see EXPERIMENTS.md):
+
+    * fix the vote size ``k`` (the paper's running example is 19);
+    * PR delivers exactly TR's reliability, so its improvement is simply
+      ``k / C_PR(r, k)``;
+    * IR's margin is tuned (real-valued, for smoothness) so that
+      R_IR(r, d) = R_TR(r, k); its improvement is ``k / C_IR(r, d)``.
+
+    Returns:
+        ``(pr_improvement, ir_improvement)``.
+    """
+    _validate_r(r)
+    _validate_k(k)
+    if r <= 0.5:
+        raise ValueError("comparison requires r > 0.5")
+    target = traditional_reliability(r, k)
+    pr_improvement = k / progressive_cost(r, k)
+    d_real = continuous_iterative_margin(r, target)
+    ir_cost = _iterative_cost_real(r, d_real, target)
+    ir_improvement = k / ir_cost
+    return pr_improvement, ir_improvement
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous-reliability generalisation (Section 5.3)
+# ----------------------------------------------------------------------
+
+def progressive_cost_heterogeneous(reliabilities: Sequence[float]) -> float:
+    """Expected cost of k-vote PR with per-draw job reliabilities.
+
+    Section 5.3 generalises Equation (3) by replacing ``r`` with the
+    reliability ``r_c`` of each successive job ``c``.  ``reliabilities``
+    gives the success probability of the c-th job dispatched (c = 1..k);
+    the expected cost is the consensus size plus, for each further job,
+    the probability that the preceding jobs contained no consensus --
+    computed by evolving the (correct, wrong) count distribution one
+    heterogeneous draw at a time.
+    """
+    k = len(reliabilities)
+    _validate_k(k)
+    for r in reliabilities:
+        _validate_r(r)
+    m = (k + 1) // 2
+    # dist[(a, b)] = P(a correct, b wrong among the first draws), pruned
+    # of states that already reached a consensus.
+    dist: Dict[tuple, float] = {(0, 0): 1.0}
+    expected = float(m)
+    for index, r in enumerate(reliabilities, start=1):
+        nxt: Dict[tuple, float] = {}
+        for (a, b), mass in dist.items():
+            for success, p in ((True, r), (False, 1.0 - r)):
+                new = (a + 1, b) if success else (a, b + 1)
+                if new[0] >= m or new[1] >= m:
+                    continue  # consensus reached: no further cost
+                nxt[new] = nxt.get(new, 0.0) + mass * p
+        dist = nxt
+        if index >= m and index < k:
+            # Job index+1 is dispatched iff no consensus among the first
+            # `index` jobs.
+            expected += sum(dist.values())
+        if not dist:
+            break
+    return expected
+
+
+def traditional_reliability_heterogeneous(reliabilities: Sequence[float]) -> float:
+    """R of one k-vote with per-job success probabilities (Section 5.3).
+
+    Computes P(majority of the k jobs succeed) for independent Bernoulli
+    jobs with distinct success probabilities, by dynamic programming over
+    the success count (Poisson-binomial CDF).
+    """
+    k = len(reliabilities)
+    if k < 1 or k % 2 == 0:
+        raise ValueError(f"need an odd number of job reliabilities, got {k}")
+    for r in reliabilities:
+        _validate_r(r)
+    # dist[s] = P(exactly s successes so far)
+    dist = [1.0]
+    for r in reliabilities:
+        nxt = [0.0] * (len(dist) + 1)
+        for s, p in enumerate(dist):
+            nxt[s] += p * (1.0 - r)
+            nxt[s + 1] += p * r
+        dist = nxt
+    majority = (k + 1) // 2
+    return sum(dist[majority:])

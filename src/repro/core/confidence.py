@@ -1,0 +1,138 @@
+"""Confidence mathematics: q(r, a, b), d(r, R, b), and the theorems.
+
+Section 3.3 of the paper defines the *confidence* that the ``a`` agreeing
+jobs (rather than the ``b`` disagreeing ones) reported the correct result::
+
+                     r^a (1-r)^b
+    q(r, a, b) = ---------------------------
+                 r^a (1-r)^b + (1-r)^a r^b
+
+and ``d(r, R, b)`` as the minimum ``a`` such that ``q(r, a, b) >= R``.
+
+Theorem 1 (the simplifying insight) states that ``q`` depends only on the
+margin ``a - b``:  ``q(r, a, b) = q(r, a + j, b + j)`` for all ``j >= 0``.
+Consequently ``d(r, R, b) = d(r, R, 0) + b`` and the iterative-redundancy
+algorithm needs only the single margin ``d = d(r, R, 0)``.
+
+All functions here work in log space where overflow is possible and fall
+back to the direct formula otherwise, so they are exact for the small
+operands used throughout and stable for extreme ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "confidence",
+    "margin_confidence",
+    "required_agreement",
+    "required_margin",
+    "achievable_reliability",
+]
+
+
+def _validate_r(r: float) -> None:
+    if not 0.0 < r < 1.0:
+        raise ValueError(f"node reliability r must lie strictly in (0, 1), got {r}")
+
+
+def confidence(r: float, a: int, b: int) -> float:
+    """The paper's q(r, a, b): probability the ``a``-side is correct.
+
+    Args:
+        r: Average probability that a single job returns the correct
+            result.
+        a: Number of jobs reporting the (presumed-majority) value.
+        b: Number of jobs reporting the other value.
+
+    Returns:
+        q(r, a, b) in (0, 1).  By Theorem 1 this equals
+        ``margin_confidence(r, a - b)`` whenever ``a >= b``.
+    """
+    _validate_r(r)
+    if a < 0 or b < 0:
+        raise ValueError(f"vote counts must be non-negative, got a={a}, b={b}")
+    # q(r, a, b) = 1 / (1 + ((1-r)/r)^(a-b)) computed via the margin,
+    # which is exactly the Theorem-1 reduction and avoids overflow for
+    # large a, b.
+    return margin_confidence(r, a - b)
+
+
+def margin_confidence(r: float, margin: int) -> float:
+    """Confidence that the leading side is correct, given its lead.
+
+    Equals ``r^d / (r^d + (1-r)^d)`` for ``margin = d`` (Equation (6) of
+    the paper gives exactly this as the system reliability of iterative
+    redundancy with parameter ``d``).  Negative margins are allowed and
+    give the complementary confidence.
+    """
+    _validate_r(r)
+    # 1 / (1 + rho^d) with rho = (1-r)/r; log-space for robustness.
+    log_rho = math.log1p(-r) - math.log(r)
+    exponent = margin * log_rho
+    if exponent > 700:  # rho^d overflows; confidence underflows to ~0
+        return math.exp(-exponent)
+    return 1.0 / (1.0 + math.exp(exponent))
+
+
+def required_agreement(r: float, target: float, b: int) -> int:
+    """The paper's d(r, R, b): minimum ``a`` with ``q(r, a, b) >= R``.
+
+    Args:
+        r: Node reliability; must exceed 1/2 or no finite ``a`` can reach
+            a target above 1/2.
+        target: Desired confidence R in (0, 1).
+        b: Number of disagreeing votes already seen.
+
+    Returns:
+        The minimal number of agreeing votes.
+
+    Raises:
+        ValueError: if ``r <= 0.5`` and ``target > 0.5`` (unreachable) or
+            arguments are out of range.
+    """
+    if b < 0:
+        raise ValueError(f"b must be non-negative, got {b}")
+    return required_margin(r, target) + b
+
+
+def required_margin(r: float, target: float) -> int:
+    """Minimum margin d with ``margin_confidence(r, d) >= target``.
+
+    This is d(r, R, 0), the single parameter the simple iterative-
+    redundancy algorithm needs (Theorem 1 makes it independent of ``b``).
+    """
+    _validate_r(r)
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target reliability must lie strictly in (0, 1), got {target}")
+    if target <= 0.5:
+        return 0
+    if r <= 0.5:
+        raise ValueError(
+            f"no finite margin reaches confidence {target} when r={r} <= 0.5"
+        )
+    # Solve r^d / (r^d + (1-r)^d) >= R  <=>  rho^d <= (1-R)/R,
+    # rho = (1-r)/r < 1  <=>  d >= log((1-R)/R) / log(rho).
+    rho = (1.0 - r) / r
+    exact = math.log((1.0 - target) / target) / math.log(rho)
+    d = max(0, math.ceil(exact - 1e-12))
+    # Guard against floating-point edge cases around the ceiling.
+    while margin_confidence(r, d) < target:
+        d += 1
+    while d > 0 and margin_confidence(r, d - 1) >= target:
+        d -= 1
+    return d
+
+
+def achievable_reliability(r: float, d: int) -> float:
+    """System reliability delivered by iterative redundancy with margin d.
+
+    Synonym of :func:`margin_confidence` named for the user-facing
+    direction: given a margin budget, what reliability do we get?
+    (Equation (6): R_IR(r) = r^d / (r^d + (1-r)^d).)
+    """
+    if d < 0:
+        raise ValueError(f"margin d must be non-negative, got {d}")
+    return margin_confidence(r, d)

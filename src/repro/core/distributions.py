@@ -1,0 +1,138 @@
+"""Node-reliability distributions for the Section 5.3 relaxations.
+
+The paper's baseline assumption 1 gives every job the same failure
+probability because nodes are chosen uniformly at random.  Section 5.3
+relaxes this: nodes may have distinct reliabilities (replace ``r`` by the
+relevant per-node values).  These distribution objects generate per-node
+reliabilities for the DCA and volunteer substrates and expose the pool
+mean, which is the effective ``r`` the analysis sees.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+class ReliabilityDistribution(abc.ABC):
+    """Generates per-node reliabilities in [0, 1]."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one node's reliability."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Population mean reliability (the pool-level ``r``)."""
+
+    def sample_pool(self, n: int, rng: random.Random) -> List[float]:
+        """Draw reliabilities for a pool of ``n`` nodes."""
+        if n < 1:
+            raise ValueError(f"pool size must be positive, got {n}")
+        return [self.sample(rng) for _ in range(n)]
+
+
+@dataclass(frozen=True)
+class FixedReliability(ReliabilityDistribution):
+    """Every node has the same reliability ``r`` (the paper's baseline)."""
+
+    r: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.r <= 1.0:
+            raise ValueError(f"reliability must lie in [0, 1], got {self.r}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.r
+
+    def mean(self) -> float:
+        return self.r
+
+
+@dataclass(frozen=True)
+class BetaReliability(ReliabilityDistribution):
+    """Reliabilities drawn from Beta(alpha, beta) -- heterogeneous pools.
+
+    The mean is alpha / (alpha + beta); pick parameters to match a target
+    pool-level ``r`` while varying the spread.
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("Beta parameters must be positive")
+
+    @classmethod
+    def with_mean(cls, mean: float, concentration: float = 10.0) -> "BetaReliability":
+        """Beta distribution with the given mean and total concentration."""
+        if not 0.0 < mean < 1.0:
+            raise ValueError(f"mean must lie strictly in (0, 1), got {mean}")
+        if concentration <= 0:
+            raise ValueError("concentration must be positive")
+        return cls(alpha=mean * concentration, beta=(1.0 - mean) * concentration)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.betavariate(self.alpha, self.beta)
+
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+
+@dataclass(frozen=True)
+class TwoClassReliability(ReliabilityDistribution):
+    """A mixture of an honest class and a faulty/malicious class.
+
+    Models the classic volunteer-computing population: a fraction
+    ``faulty_fraction`` of nodes with low reliability ``faulty_r`` among
+    otherwise good nodes with reliability ``good_r``.
+    """
+
+    good_r: float
+    faulty_r: float
+    faulty_fraction: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("good_r", self.good_r), ("faulty_r", self.faulty_r)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        if not 0.0 <= self.faulty_fraction <= 1.0:
+            raise ValueError("faulty_fraction must lie in [0, 1]")
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.faulty_fraction:
+            return self.faulty_r
+        return self.good_r
+
+    def mean(self) -> float:
+        return (
+            self.faulty_fraction * self.faulty_r
+            + (1.0 - self.faulty_fraction) * self.good_r
+        )
+
+
+@dataclass(frozen=True)
+class DiscreteReliability(ReliabilityDistribution):
+    """An explicit finite mixture of reliability levels."""
+
+    levels: Sequence[float]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.weights) or not self.levels:
+            raise ValueError("levels and weights must be equal-length and non-empty")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum to > 0")
+        for level in self.levels:
+            if not 0.0 <= level <= 1.0:
+                raise ValueError(f"reliability level {level} outside [0, 1]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.choices(list(self.levels), weights=list(self.weights), k=1)[0]
+
+    def mean(self) -> float:
+        total = sum(self.weights)
+        return sum(l * w for l, w in zip(self.levels, self.weights)) / total

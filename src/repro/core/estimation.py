@@ -1,0 +1,177 @@
+"""Estimating the unknown node reliability from vote observations.
+
+Iterative redundancy never *needs* the node reliability ``r``, but
+operators still want to know it (capacity planning, choosing ``d`` for a
+new reliability target, detecting pool degradation).  Section 4.2 of the
+paper derives PlanetLab's ``r`` from measured costs; this module
+generalises that into proper estimators:
+
+* :func:`estimate_from_job_counts` -- maximum-likelihood ``r`` from the
+  per-task job totals an IR deployment observes.  A task that used
+  ``d + 2b`` jobs finished ``(d + b)``-to-``b``; the counts' likelihood
+  follows the absorbed random walk.  The sufficient statistic turns out
+  to be beautifully simple (Wald's identity again): the MLE satisfies
+  ``E[T] = C_IR(r, d)``, i.e. *invert the cost closed form at the
+  empirical mean*, which is exactly what the paper did by hand.
+* :func:`estimate_from_votes` -- MLE from fully observed vote splits
+  (when the operator logs every job's agreement, not just totals):
+  each job agrees with the eventual winner w.p. ``r`` up to the winner's
+  correctness, giving a closed-form ratio estimate with a
+  winner-correctness correction.
+* :func:`degradation_monitor` -- a sliding-window alarm on the job-count
+  stream: flags when the pool's implied ``r`` drifts below a floor.
+
+All estimators consume only information the server legitimately has --
+no ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.analysis import iterative_cost, iterative_reliability
+
+__all__ = [
+    "estimate_from_job_counts",
+    "estimate_from_votes",
+    "DegradationAlarm",
+    "degradation_monitor",
+]
+
+
+def _invert_cost(mean_jobs: float, d: int) -> float:
+    """Solve C_IR(r, d) = mean_jobs for r in (0.5, 1) by bisection.
+
+    C_IR is strictly decreasing in r on (0.5, 1), from d^2 down to d.
+    Values at or below d clamp to r -> 1; at or above d^2 clamp to 0.5.
+    """
+    low_cost = iterative_cost(0.999999, d)  # ~ d
+    high_cost = float(d * d)
+    if mean_jobs <= low_cost:
+        return 1.0
+    if mean_jobs >= high_cost:
+        return 0.5
+    lo, hi = 0.5 + 1e-9, 1.0 - 1e-9
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if iterative_cost(mid, d) > mean_jobs:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def estimate_from_job_counts(job_counts: Sequence[int], d: int) -> float:
+    """MLE of ``r`` from IR per-task job totals.
+
+    By Wald's identity the expected total is ``C_IR(r, d)``; the MLE of a
+    stopped random walk's step probability matches moments, so the
+    estimator inverts the cost closed form at the sample mean.  Returns a
+    value in [0.5, 1.0] (the sign of the drift is unidentifiable from
+    totals alone, so the estimate is the magnitude-side root -- the same
+    convention the paper uses when deriving PlanetLab's r).
+    """
+    if d < 1:
+        raise ValueError(f"margin d must be positive, got {d}")
+    counts = list(job_counts)
+    if not counts:
+        raise ValueError("need at least one observed task")
+    for count in counts:
+        if count < d or (count - d) % 2 != 0:
+            raise ValueError(
+                f"impossible IR job count {count} for d={d} "
+                "(totals are d + 2b)"
+            )
+    mean_jobs = sum(counts) / len(counts)
+    return _invert_cost(mean_jobs, d)
+
+
+def estimate_from_votes(
+    winner_votes: int, loser_votes: int, d: Optional[int] = None
+) -> float:
+    """Estimate ``r`` from aggregate agree/disagree counts across tasks.
+
+    ``winner_votes`` jobs agreed with their task's accepted value and
+    ``loser_votes`` did not.  If every accepted value were correct, the
+    agreement fraction would estimate ``r`` directly; accepted values are
+    themselves wrong with probability ``1 - R_IR(r, d)``, so when ``d``
+    is supplied the estimate is refined by one fixed-point correction:
+
+        agree_frac = R * r + (1 - R) * (1 - r)
+
+    solved for ``r`` with ``R = R_IR(r, d)`` iterated to convergence.
+    """
+    if winner_votes < 0 or loser_votes < 0:
+        raise ValueError("vote counts must be non-negative")
+    total = winner_votes + loser_votes
+    if total == 0:
+        raise ValueError("need at least one vote")
+    agree_frac = winner_votes / total
+    if d is None:
+        return agree_frac
+    if d < 1:
+        raise ValueError(f"margin d must be positive, got {d}")
+    r = max(0.5 + 1e-9, min(1.0 - 1e-9, agree_frac))
+    for _ in range(100):
+        reliability = iterative_reliability(r, d)
+        denominator = 2.0 * reliability - 1.0
+        if denominator <= 1e-9:
+            break
+        corrected = (agree_frac - (1.0 - reliability)) / denominator
+        corrected = max(0.5 + 1e-9, min(1.0 - 1e-9, corrected))
+        if abs(corrected - r) < 1e-12:
+            r = corrected
+            break
+        r = corrected
+    return r
+
+
+@dataclass(frozen=True)
+class DegradationAlarm:
+    """Raised condition from :func:`degradation_monitor`."""
+
+    task_index: int
+    estimated_r: float
+    window_mean_jobs: float
+
+
+def degradation_monitor(
+    job_counts: Iterable[int],
+    d: int,
+    *,
+    window: int = 200,
+    floor: float = 0.6,
+) -> List[DegradationAlarm]:
+    """Scan an IR job-count stream for pool degradation.
+
+    Maintains a sliding window of per-task totals; whenever the window is
+    full and its implied ``r`` (cost inversion) sits below ``floor``, an
+    alarm is emitted (one per window position, so a sustained degradation
+    produces a run of alarms whose length measures its duration).
+    """
+    if window < 2:
+        raise ValueError(f"window must be at least 2, got {window}")
+    if not 0.5 < floor < 1.0:
+        raise ValueError(f"floor must lie in (0.5, 1), got {floor}")
+    alarms: List[DegradationAlarm] = []
+    buffer: List[int] = []
+    total = 0
+    for index, count in enumerate(job_counts):
+        buffer.append(count)
+        total += count
+        if len(buffer) > window:
+            total -= buffer.pop(0)
+        if len(buffer) == window:
+            mean_jobs = total / window
+            estimate = _invert_cost(mean_jobs, d)
+            if estimate < floor:
+                alarms.append(
+                    DegradationAlarm(
+                        task_index=index,
+                        estimated_r=estimate,
+                        window_mean_jobs=mean_jobs,
+                    )
+                )
+    return alarms

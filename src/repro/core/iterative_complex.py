@@ -1,0 +1,60 @@
+"""The "complex" iterative-redundancy algorithm (Section 3.3).
+
+Before the simplifying insight, iterative redundancy is described as: keep
+a confidence threshold R; after every wave compute the confidence
+``q(r, a, b)`` that the majority is correct, and if it falls short,
+dispatch ``d(r, R, b) - a`` more jobs -- the minimum that would reach R if
+they all agreed with the majority.  This form requires the node
+reliability ``r`` as an input, which Theorem 1 proves unnecessary: the
+complex algorithm dispatches exactly the same number of jobs in every
+situation as the simple margin algorithm with ``d = d(r, R, 0)``.
+
+It is implemented here (a) as executable documentation of the paper's
+derivation and (b) so property tests can verify the Theorem-1 equivalence
+end to end.
+"""
+
+from __future__ import annotations
+
+from repro.core.confidence import confidence, required_agreement, required_margin
+from repro.core.strategy import RedundancyStrategy
+from repro.core.types import Decision, VoteState
+
+
+class ComplexIterativeRedundancy(RedundancyStrategy):
+    """Confidence-threshold iterative redundancy that *does* use ``r``.
+
+    Args:
+        r: Average node reliability (must exceed 0.5).
+        target: Desired system reliability R in (0.5, 1).
+
+    Dispatches identically to
+    ``IterativeRedundancy(required_margin(r, target))`` -- Theorem 1.
+    """
+
+    def __init__(self, r: float, target: float) -> None:
+        if not 0.5 < r < 1.0:
+            raise ValueError(f"complex algorithm needs r in (0.5, 1), got {r}")
+        if not 0.5 < target < 1.0:
+            raise ValueError(f"target must lie in (0.5, 1), got {target}")
+        self.r = r
+        self.target = target
+        self.equivalent_margin = max(1, required_margin(r, target))
+        self.name = f"iterative-complex(r={r}, R={target})"
+
+    def initial_jobs(self) -> int:
+        """d(r, R, 0): jobs whose unanimous agreement would reach R."""
+        return max(1, required_agreement(self.r, self.target, 0))
+
+    def decide(self, vote: VoteState) -> Decision:
+        a = vote.leader_count
+        b = vote.runner_up_count
+        if vote.leader is not None and confidence(self.r, a, b) >= self.target:
+            return Decision.accept(vote.leader)
+        needed = max(1, required_agreement(self.r, self.target, b))
+        if vote.leader is None:
+            return Decision.dispatch(needed)
+        return Decision.dispatch(needed - a)
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,32 @@
+"""The k = 1 baseline: no redundancy at all.
+
+A system without redundancy dispatches a single job per task and accepts
+whatever comes back; its reliability equals the node reliability ``r`` and
+its cost factor is 1.  Separated from
+:class:`~repro.core.traditional.TraditionalRedundancy` only for clarity in
+experiment tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategy import RedundancyStrategy
+from repro.core.types import Decision, VoteState
+
+
+class NoRedundancy(RedundancyStrategy):
+    """Dispatch one job and accept its answer."""
+
+    name = "none(k=1)"
+
+    def initial_jobs(self) -> int:
+        return 1
+
+    def decide(self, vote: VoteState) -> Decision:
+        leader = vote.leader
+        if leader is None:
+            # The single job timed out without a value; try once more.
+            return Decision.dispatch(1)
+        return Decision.accept(leader)
+
+    def max_total_jobs(self) -> int:
+        return 1

@@ -1,0 +1,140 @@
+"""Iterative redundancy as a sequential probability ratio test (SPRT).
+
+A lens the paper does not spell out but that illuminates *why* iterative
+redundancy is cost-optimal (Section 3.3's claim): the margin rule is
+exactly Wald's sequential probability ratio test between the hypotheses
+
+* H+ : the leading answer is correct (each vote favours it w.p. ``r``),
+* H- : the leading answer is wrong  (each vote favours it w.p. ``1-r``),
+
+with symmetric log-likelihood-ratio thresholds.  Each agreeing vote adds
+``log(r / (1-r))`` to the log-likelihood ratio and each disagreeing vote
+subtracts the same amount, so the LLR is proportional to the margin
+``a - b``, and "stop when the margin reaches d" is "stop when the LLR
+reaches d * log(r/(1-r))".  Wald's classic optimality theorem (the SPRT
+minimises expected sample size among all tests with equal error rates)
+is precisely the paper's minimum-cost claim, and Wald's error bounds
+reproduce Equation (6).
+
+This module makes the correspondence executable: conversions between the
+margin ``d`` and SPRT thresholds/error rates, plus Wald's expected sample
+size, which agrees with Equation (5)'s closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.analysis import iterative_cost, iterative_reliability
+
+__all__ = [
+    "SprtDesign",
+    "llr_per_vote",
+    "margin_for_error_rate",
+    "design_from_margin",
+    "wald_expected_samples",
+]
+
+
+def llr_per_vote(r: float) -> float:
+    """Log-likelihood-ratio contribution of one agreeing vote.
+
+    Under H+ a vote agrees w.p. ``r``; under H- w.p. ``1-r``; the LLR
+    step is log(r / (1-r)) (and its negation for a disagreeing vote).
+    """
+    if not 0.0 < r < 1.0:
+        raise ValueError(f"r must lie strictly in (0, 1), got {r}")
+    return math.log(r / (1.0 - r))
+
+
+@dataclass(frozen=True)
+class SprtDesign:
+    """A symmetric SPRT characterised by the paper's margin parameter.
+
+    Attributes:
+        d: The margin (number of net agreeing votes) at which the test
+            stops.
+        r: The per-vote reliability the design is evaluated against.
+        error_rate: Probability of accepting the wrong hypothesis
+            (= 1 - R_IR(r, d); both error directions are equal by
+            symmetry).
+        threshold: The LLR stopping threshold, d * log(r / (1-r)).
+    """
+
+    d: int
+    r: float
+    error_rate: float
+    threshold: float
+
+    @property
+    def reliability(self) -> float:
+        return 1.0 - self.error_rate
+
+    @property
+    def expected_samples(self) -> float:
+        """Expected votes consumed = the paper's cost factor C_IR(r, d)."""
+        return iterative_cost(self.r, self.d)
+
+
+def design_from_margin(r: float, d: int) -> SprtDesign:
+    """Interpret margin ``d`` at reliability ``r`` as an SPRT design."""
+    if d < 1:
+        raise ValueError(f"margin must be positive, got {d}")
+    reliability = iterative_reliability(r, d)
+    return SprtDesign(
+        d=d,
+        r=r,
+        error_rate=1.0 - reliability,
+        threshold=d * llr_per_vote(r),
+    )
+
+
+def margin_for_error_rate(r: float, alpha: float) -> int:
+    """Smallest margin whose symmetric error rate is at most ``alpha``.
+
+    Wald's threshold for a symmetric test with error ``alpha`` is
+    ``log((1 - alpha) / alpha)``; dividing by the per-vote LLR and
+    rounding up gives the margin.  Identical to
+    :func:`repro.core.confidence.required_margin` with target
+    ``1 - alpha`` -- the two derivations meet, which the tests check.
+    """
+    if not 0.0 < alpha < 0.5:
+        raise ValueError(f"error rate must lie in (0, 0.5), got {alpha}")
+    if r <= 0.5:
+        raise ValueError(f"SPRT between H+ and H- needs r > 0.5, got {r}")
+    threshold = math.log((1.0 - alpha) / alpha)
+    d = max(1, math.ceil(threshold / llr_per_vote(r) - 1e-12))
+    # Guard the boundary exactly as required_margin does -- comparing on
+    # the reliability side, since 1.0 - x and the complement probability
+    # round differently in floating point.
+    target = 1.0 - alpha
+    while iterative_reliability(r, d) < target:
+        d += 1
+    while d > 1 and iterative_reliability(r, d - 1) >= target:
+        d -= 1
+    return d
+
+
+def wald_expected_samples(r: float, d: int) -> float:
+    """Wald's expected-sample-size identity for the symmetric test.
+
+    E[N] = E[LLR at stopping] / E[LLR per vote].  With symmetric
+    absorption at +-d * step and acceptance probability R,
+
+        E[N] = d * (2R - 1) / (2r - 1)
+
+    -- the same closed form as the gambler's-ruin derivation of
+    Equation (5), reached by an independent argument (optional stopping /
+    Wald's identity instead of first-step analysis).
+    """
+    if d < 1:
+        raise ValueError(f"margin must be positive, got {d}")
+    if not 0.0 < r < 1.0:
+        raise ValueError(f"r must lie strictly in (0, 1), got {r}")
+    if abs(r - 0.5) < 1e-12:
+        return float(d * d)
+    reliability = iterative_reliability(r, d)
+    step_mean = (2.0 * r - 1.0) * llr_per_vote(r)
+    stop_mean = (2.0 * reliability - 1.0) * d * llr_per_vote(r)
+    return stop_mean / step_mean

@@ -1,0 +1,81 @@
+"""The strategy protocol every redundancy technique implements.
+
+A strategy is a *wave decider*: the task server dispatches a wave of jobs,
+waits for all of them to complete, folds the outcomes into a
+:class:`~repro.core.types.VoteState`, and asks the strategy what to do
+next.  The strategy answers with a :class:`~repro.core.types.Decision` --
+either ``accept(value)`` or ``dispatch(n)`` more jobs.
+
+Keeping strategies pure functions of the vote state means one
+implementation serves three substrates: the closed-form analysis, the
+discrete-event DCA model, and the volunteer-computing substrate.
+
+Strategies that need node identities across tasks (the credibility and
+adaptive-replication comparators of Sections 5-6) additionally implement
+:class:`NodeAware`; substrates feed them per-job outcomes and final
+verdicts so they can maintain reputations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.types import Decision, JobOutcome, TaskVerdict, VoteState
+
+
+class RedundancyStrategy(abc.ABC):
+    """Decides how many redundant jobs each task needs.
+
+    Subclasses must be safe to share across tasks: all per-task state lives
+    in the :class:`VoteState` the substrate passes in.
+    """
+
+    #: Short identifier used in reports and experiment tables.
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def initial_jobs(self) -> int:
+        """Number of jobs the first wave of every task should contain."""
+
+    @abc.abstractmethod
+    def decide(self, vote: VoteState) -> Decision:
+        """Given the completed votes so far, accept or dispatch more.
+
+        Called only when no dispatched jobs remain outstanding
+        (``vote.outstanding == 0``) and at least one wave has completed.
+        """
+
+    def max_total_jobs(self) -> Optional[int]:
+        """Upper bound on jobs per task, or ``None`` if unbounded.
+
+        Traditional and progressive redundancy are bounded by ``k``;
+        iterative redundancy is unbounded (Section 5.2: "any one task may
+        require arbitrarily many waves of jobs").  Substrates may use this
+        for sanity checks but must not truncate unbounded strategies.
+        """
+        return None
+
+    def describe(self) -> str:
+        """Human-readable parameterisation for reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+@runtime_checkable
+class NodeAware(Protocol):
+    """Optional interface for strategies that track node reputations.
+
+    Substrates call :meth:`record_outcome` for every completed job (with
+    the node id attached) and :meth:`task_finished` once a task's verdict
+    is accepted, letting the strategy update per-node statistics such as
+    credibility scores or adaptive-replication trust.
+    """
+
+    def record_outcome(self, task_id: int, outcome: JobOutcome) -> None:
+        """Observe one job's outcome for reputation bookkeeping."""
+
+    def task_finished(self, task_id: int, verdict: TaskVerdict) -> None:
+        """Observe a task's accepted verdict (without ground truth)."""

@@ -1,0 +1,67 @@
+"""Traditional k-modular redundancy (Figure 2a of the paper).
+
+The state of the practice in deployed DCAs (BOINC, Hadoop): perform
+``k`` independent executions of the task in parallel and take a majority
+vote.  Cost factor is always exactly ``k`` (Equation (1)); reliability is
+the probability that at least ``(k + 1) / 2`` executions succeed
+(Equation (2)).
+"""
+
+from __future__ import annotations
+
+from repro.core.strategy import RedundancyStrategy
+from repro.core.types import Decision, VoteState
+from repro.core.voting import majority_value
+
+
+def validate_k(k: int) -> None:
+    """k must be a positive odd integer (k = 1 means no redundancy)."""
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if k % 2 == 0:
+        raise ValueError(f"k must be odd so a majority always exists, got {k}")
+
+
+class TraditionalRedundancy(RedundancyStrategy):
+    """k-vote traditional redundancy: one wave of ``k`` jobs, then vote.
+
+    Args:
+        k: Odd number of independent executions per task.
+
+    Example:
+        >>> strategy = TraditionalRedundancy(3)
+        >>> strategy.initial_jobs()
+        3
+    """
+
+    def __init__(self, k: int) -> None:
+        validate_k(k)
+        self.k = k
+        self.name = f"traditional(k={k})"
+
+    def initial_jobs(self) -> int:
+        return self.k
+
+    def decide(self, vote: VoteState) -> Decision:
+        if vote.responses < self.k:
+            # Some jobs timed out without reporting; re-issue them so the
+            # vote still rests on k actual responses (paper Section 2.2
+            # treats a silent node as failed, and BOINC-style servers
+            # replace such jobs).
+            return Decision.dispatch(self.k - vote.responses)
+        winner = majority_value(vote, self.k)
+        if winner is not None:
+            return Decision.accept(winner)
+        # No majority can happen only outside the binary model (three or
+        # more distinct values, or too many silent failures).  Take the
+        # plurality leader; with zero responses the task is retried whole.
+        leader = vote.leader
+        if leader is None:
+            return Decision.dispatch(self.k)
+        return Decision.accept(leader)
+
+    def max_total_jobs(self) -> int:
+        return self.k
+
+    def describe(self) -> str:
+        return self.name

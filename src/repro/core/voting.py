@@ -1,0 +1,66 @@
+"""Vote-tallying helpers shared by strategies, validators, and analysis.
+
+The binary Byzantine worst case needs only majority checks; the §5.3
+relaxation to arbitrary result values needs plurality.  Both live here so
+every substrate counts votes the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.types import JobOutcome, ResultValue, VoteState
+
+
+def tally_results(outcomes: Iterable[JobOutcome]) -> VoteState:
+    """Fold a sequence of job outcomes into a fresh :class:`VoteState`."""
+    state = VoteState()
+    for outcome in outcomes:
+        state.record(outcome)
+    return state
+
+
+def majority_value(state: VoteState, k: int) -> Optional[ResultValue]:
+    """The value holding at least ``(k + 1) // 2`` votes, if any.
+
+    This is the consensus rule of k-vote traditional/progressive
+    redundancy: a result stands once a majority of the *planned* ``k``
+    executions agree on it.  Returns ``None`` when no value has reached
+    the majority threshold yet.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    threshold = (k + 1) // 2
+    leader = state.leader
+    if leader is not None and state.leader_count >= threshold:
+        return leader
+    return None
+
+
+def consensus_reached(state: VoteState, k: int) -> bool:
+    """True once some value holds a majority of ``k`` planned votes."""
+    return majority_value(state, k) is not None
+
+
+def plurality_value(state: VoteState, *, min_lead: int = 1) -> Optional[ResultValue]:
+    """The value leading all others by at least ``min_lead`` votes.
+
+    Used for the §5.3 non-binary relaxation: when failing nodes do not
+    collude on a single wrong value, the correct answer can win by
+    plurality even without a majority.
+    """
+    if min_lead < 1:
+        raise ValueError(f"min_lead must be at least 1, got {min_lead}")
+    if state.leader is None:
+        return None
+    if state.margin >= min_lead:
+        return state.leader
+    return None
+
+
+def unanimous_value(state: VoteState) -> Optional[ResultValue]:
+    """The single reported value if every response agrees, else ``None``."""
+    ranked = state.ranked()
+    if len(ranked) == 1:
+        return ranked[0][0]
+    return None

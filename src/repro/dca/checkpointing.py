@@ -1,0 +1,202 @@
+"""Checkpointing for long-running jobs (the Section 6 companion).
+
+The paper's related-work section: "Traditional checkpoint techniques can
+also be applied to DCAs to log partially completed work and prevent data
+and computation loss in cases of crash failures.  Checkpoints can be
+effective when individual subcomputations take a long time to complete."
+Redundancy and checkpointing are orthogonal: voting defends the *result*
+against Byzantine lies; checkpoints defend the *work* against crash
+restarts.  This module provides both the analysis and a simulator of a
+checkpointed job under Poisson crashes, so the repository can quantify
+the trade and the `examples`/ablation can exercise it.
+
+Model: a job needs ``work`` units of computation.  Crashes arrive as a
+Poisson process with rate ``crash_rate``; a crash throws away progress
+since the last checkpoint and costs ``restart_cost`` before computing
+resumes.  Writing a checkpoint costs ``checkpoint_cost``.  With interval
+``tau`` between checkpoints, the expected wall-clock per segment follows
+the classic first-principles formula (e.g. Daly 2006):
+
+    E[segment] = (1/lambda + restart) * (exp(lambda * (tau + c)) - 1)
+
+for a segment of ``tau`` useful work plus a ``c``-cost checkpoint, and
+Young's approximation ``tau* ~ sqrt(2 c / lambda)`` gives the
+near-optimal interval.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "CheckpointPolicy",
+    "expected_segment_time",
+    "expected_completion_time",
+    "optimal_interval",
+    "simulate_job",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How a long job checkpoints.
+
+    Attributes:
+        interval: Useful work between checkpoints; ``None`` or infinity
+            disables checkpointing (all-or-nothing restart).
+        checkpoint_cost: Wall-clock cost of writing one checkpoint.
+        restart_cost: Wall-clock cost paid after each crash before any
+            computation resumes (reboot, redeploy, reload state).
+    """
+
+    interval: Optional[float] = None
+    checkpoint_cost: float = 0.0
+    restart_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.checkpoint_cost < 0 or self.restart_cost < 0:
+            raise ValueError("costs must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval is not None and math.isfinite(self.interval)
+
+
+def expected_segment_time(
+    segment_work: float,
+    crash_rate: float,
+    *,
+    restart_cost: float = 0.0,
+) -> float:
+    """Expected wall-clock to finish ``segment_work`` of uninterruptible
+    work under Poisson crashes (progress lost on each crash).
+
+    Classic renewal argument: E[T] = (1/lambda + R)(e^{lambda w} - 1),
+    reducing to ``w`` as ``lambda -> 0``.
+    """
+    if segment_work < 0:
+        raise ValueError(f"work must be non-negative, got {segment_work}")
+    if crash_rate < 0:
+        raise ValueError(f"crash rate must be non-negative, got {crash_rate}")
+    if crash_rate == 0.0:
+        return segment_work
+    return (1.0 / crash_rate + restart_cost) * math.expm1(crash_rate * segment_work)
+
+
+def expected_completion_time(
+    work: float,
+    crash_rate: float,
+    policy: CheckpointPolicy,
+) -> float:
+    """Expected wall-clock to finish ``work`` under a checkpoint policy.
+
+    The job is a chain of segments of ``policy.interval`` work, each
+    followed by a checkpoint write (itself vulnerable to crashes, so the
+    exposed window is ``interval + checkpoint_cost``); the final partial
+    segment skips the checkpoint.
+    """
+    if work < 0:
+        raise ValueError(f"work must be non-negative, got {work}")
+    if not policy.enabled:
+        return expected_segment_time(work, crash_rate, restart_cost=policy.restart_cost)
+    tau = policy.interval
+    full_segments = int(work // tau)
+    remainder = work - full_segments * tau
+    if remainder <= 1e-12 and full_segments > 0:
+        # The final segment finishes the job, so it skips the checkpoint.
+        checkpointed = full_segments - 1
+        final_work = tau
+    else:
+        checkpointed = full_segments
+        final_work = remainder
+    total = checkpointed * expected_segment_time(
+        tau + policy.checkpoint_cost, crash_rate, restart_cost=policy.restart_cost
+    )
+    if final_work > 0:
+        total += expected_segment_time(
+            final_work, crash_rate, restart_cost=policy.restart_cost
+        )
+    return total
+
+
+def optimal_interval(crash_rate: float, checkpoint_cost: float) -> float:
+    """Young's approximation: tau* ~ sqrt(2 c / lambda).
+
+    Raises:
+        ValueError: if either parameter is non-positive (with no crashes
+            or free checkpoints there is no finite optimum to approximate).
+    """
+    if crash_rate <= 0:
+        raise ValueError("optimal interval undefined without crashes")
+    if checkpoint_cost <= 0:
+        raise ValueError("optimal interval undefined with free checkpoints")
+    return math.sqrt(2.0 * checkpoint_cost / crash_rate)
+
+
+@dataclass(frozen=True)
+class JobOutcomeStats:
+    """What one simulated long job experienced."""
+
+    wall_clock: float
+    crashes: int
+    checkpoints_written: int
+    work_lost: float
+
+
+def simulate_job(
+    work: float,
+    crash_rate: float,
+    policy: CheckpointPolicy,
+    rng: random.Random,
+    *,
+    max_crashes: int = 10_000_000,
+) -> JobOutcomeStats:
+    """Monte-Carlo one job's wall-clock under crashes and checkpoints.
+
+    Cross-checks :func:`expected_completion_time` and powers the
+    checkpointing example.
+    """
+    if work < 0:
+        raise ValueError(f"work must be non-negative, got {work}")
+    if crash_rate < 0:
+        raise ValueError(f"crash rate must be non-negative, got {crash_rate}")
+    wall = 0.0
+    crashes = 0
+    checkpoints = 0
+    lost = 0.0
+    done = 0.0  # durable (checkpointed) work
+    while done < work:
+        tau = policy.interval if policy.enabled else math.inf
+        segment = min(tau, work - done)
+        # Checkpoint write is exposed to crashes together with the segment
+        # (except for the final partial segment, which skips the write).
+        writes_checkpoint = (
+            policy.enabled and segment == tau and done + segment < work - 1e-12
+        )
+        exposed = segment + (policy.checkpoint_cost if writes_checkpoint else 0.0)
+        progress = 0.0
+        while True:
+            crash_in = rng.expovariate(crash_rate) if crash_rate > 0 else math.inf
+            if crash_in >= exposed - progress:
+                wall += exposed - progress
+                break
+            wall += crash_in + policy.restart_cost
+            lost += min(progress + crash_in, segment)
+            progress = 0.0
+            crashes += 1
+            if crashes > max_crashes:
+                raise RuntimeError("crash storm exceeded the simulation bound")
+        done += segment
+        if writes_checkpoint:
+            checkpoints += 1
+    return JobOutcomeStats(
+        wall_clock=wall,
+        crashes=crashes,
+        checkpoints_written=checkpoints,
+        work_lost=lost,
+    )

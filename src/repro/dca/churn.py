@@ -1,0 +1,109 @@
+"""Node churn: volunteers joining and quitting the pool (Figure 1's
+"new nodes volunteer" / "nodes quit pool" arrows).
+
+Both directions are Poisson processes.  A departing node that is mid-job
+simply never reports; the task server's deadline treats it as failed,
+exactly like the paper's timeout rule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.distributions import ReliabilityDistribution
+from repro.dca.node import Node
+from repro.dca.pool import NodePool
+from repro.sim.engine import Simulator
+
+
+class ChurnProcess:
+    """Drives joins and departures on a node pool.
+
+    Args:
+        sim: The simulator.
+        pool: The pool to mutate.
+        reliability: Distribution new volunteers' reliabilities come from.
+        arrival_rate: Poisson rate of joins per simulated time unit.
+        departure_rate: Poisson rate of departures per time unit.
+        speed_spread: New nodes' speed factors are uniform in
+            ``[1 - spread, 1 + spread]``.
+        unresponsive_prob: Per-job silent probability for new nodes.
+        on_join: Hook called after each join (the task server uses it to
+            pump its queue onto the fresh node).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pool: NodePool,
+        reliability: ReliabilityDistribution,
+        *,
+        arrival_rate: float = 0.0,
+        departure_rate: float = 0.0,
+        speed_spread: float = 0.0,
+        unresponsive_prob: float = 0.0,
+        on_join: Optional[Callable[[Node], None]] = None,
+    ) -> None:
+        if arrival_rate < 0 or departure_rate < 0:
+            raise ValueError("churn rates must be non-negative")
+        self.sim = sim
+        self.pool = pool
+        self.reliability = reliability
+        self.arrival_rate = arrival_rate
+        self.departure_rate = departure_rate
+        self.speed_spread = speed_spread
+        self.unresponsive_prob = unresponsive_prob
+        self.on_join = on_join
+        self._rng = sim.rng.stream("churn")
+        self._stopped = False
+
+    def start(self) -> None:
+        """Schedule the first arrival and departure."""
+        if self.arrival_rate > 0:
+            self._schedule_arrival()
+        if self.departure_rate > 0:
+            self._schedule_departure()
+
+    def stop(self) -> None:
+        """Stop generating churn (lets the event queue drain)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+
+    def make_node(self) -> Node:
+        """Build a fresh volunteer node."""
+        speed = 1.0
+        if self.speed_spread > 0:
+            speed = self._rng.uniform(1.0 - self.speed_spread, 1.0 + self.speed_spread)
+        return Node(
+            node_id=self.pool.allocate_id(),
+            reliability=self.reliability.sample(self._rng),
+            speed_factor=speed,
+            unresponsive_prob=self.unresponsive_prob,
+        )
+
+    def _schedule_arrival(self) -> None:
+        delay = self._rng.expovariate(self.arrival_rate)
+        self.sim.schedule_after(delay, self._on_arrival)
+
+    def _on_arrival(self, event) -> None:
+        if self._stopped:
+            return
+        node = self.make_node()
+        self.pool.join(node)
+        if self.on_join is not None:
+            self.on_join(node)
+        self._schedule_arrival()
+
+    def _schedule_departure(self) -> None:
+        delay = self._rng.expovariate(self.departure_rate)
+        self.sim.schedule_after(delay, self._on_departure)
+
+    def _on_departure(self, event) -> None:
+        if self._stopped:
+            return
+        node = self.pool.random_alive(self._rng)
+        if node is not None and len(self.pool) > 1:
+            self.pool.leave(node.node_id)
+        self._schedule_departure()

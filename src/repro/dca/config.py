@@ -1,0 +1,105 @@
+"""Configuration for DCA simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.distributions import FixedReliability, ReliabilityDistribution
+from repro.core.strategy import RedundancyStrategy
+from repro.dca.failures import FailureModel
+
+
+@dataclass
+class DcaConfig:
+    """Everything a DCA simulation run needs.
+
+    Defaults mirror the paper's XDEVS setup (Section 4.1): job completion
+    times uniform in [0.5, 1.5] simulated time units and average node
+    reliability 0.7.  The paper uses >= 1,000,000 tasks and 10,000 nodes;
+    that scale is reachable here too but the experiment harness defaults
+    to smaller runs with confidence intervals (see EXPERIMENTS.md).
+
+    Attributes:
+        strategy: The redundancy strategy under test (shared across
+            tasks; node-aware strategies accumulate reputation state by
+            design).
+        tasks: Number of independent tasks in the computation.
+        nodes: Initial node-pool size.
+        reliability: Either a single average node reliability in [0, 1]
+            or a :class:`ReliabilityDistribution` for heterogeneous pools
+            (Section 5.3).
+        duration_low / duration_high: Bounds of the uniform nominal job
+            duration.
+        seed: Root seed; every subsystem derives its own stream.
+        timeout: Job deadline.  ``None`` picks
+            ``deadline_factor * duration_high`` (times the slowest speed
+            factor seen); jobs silent past the deadline count as failed
+            (Section 2.2).
+        deadline_factor: Multiplier used when ``timeout`` is ``None``.
+        unresponsive_prob: Per-job probability a node goes silent.
+        failure_model: How failed jobs report.  ``None`` uses the paper's
+            worst case, :class:`~repro.dca.failures.ByzantineCollusion`.
+        speed_spread: Node speed factors are drawn uniformly from
+            ``[1 - speed_spread, 1 + speed_spread]`` (0 = homogeneous).
+        arrival_rate: Poisson rate of new volunteers joining (churn).
+        departure_rate: Poisson rate of nodes quitting (churn).
+        spot_check_rate: Fraction of assignments diverted to spot-check
+            jobs (only meaningful with a credibility strategy; pure
+            overhead otherwise).
+        max_time: Optional simulated-time horizon; ``None`` runs until the
+            computation completes.
+    """
+
+    strategy: RedundancyStrategy
+    tasks: int = 10_000
+    nodes: int = 1_000
+    reliability: Union[float, ReliabilityDistribution] = 0.7
+    duration_low: float = 0.5
+    duration_high: float = 1.5
+    seed: int = 0
+    timeout: Optional[float] = None
+    deadline_factor: float = 10.0
+    unresponsive_prob: float = 0.0
+    failure_model: Optional[FailureModel] = None
+    speed_spread: float = 0.0
+    arrival_rate: float = 0.0
+    departure_rate: float = 0.0
+    spot_check_rate: float = 0.0
+    max_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.tasks < 1:
+            raise ValueError(f"need at least one task, got {self.tasks}")
+        if self.nodes < 1:
+            raise ValueError(f"need at least one node, got {self.nodes}")
+        if not 0.0 < self.duration_low <= self.duration_high:
+            raise ValueError(
+                f"need 0 < duration_low <= duration_high, got "
+                f"[{self.duration_low}, {self.duration_high}]"
+            )
+        if not 0.0 <= self.unresponsive_prob < 1.0:
+            raise ValueError(
+                f"unresponsive probability must lie in [0, 1), got {self.unresponsive_prob}"
+            )
+        if not 0.0 <= self.speed_spread < 1.0:
+            raise ValueError(f"speed spread must lie in [0, 1), got {self.speed_spread}")
+        if self.arrival_rate < 0 or self.departure_rate < 0:
+            raise ValueError("churn rates must be non-negative")
+        if not 0.0 <= self.spot_check_rate < 1.0:
+            raise ValueError(f"spot-check rate must lie in [0, 1), got {self.spot_check_rate}")
+        if self.deadline_factor <= 1.0:
+            raise ValueError(f"deadline factor must exceed 1, got {self.deadline_factor}")
+
+    @property
+    def reliability_distribution(self) -> ReliabilityDistribution:
+        if isinstance(self.reliability, ReliabilityDistribution):
+            return self.reliability
+        return FixedReliability(float(self.reliability))
+
+    @property
+    def effective_timeout(self) -> float:
+        if self.timeout is not None:
+            return self.timeout
+        slowest = 1.0 + self.speed_spread
+        return self.deadline_factor * self.duration_high * slowest

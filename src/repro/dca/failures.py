@@ -1,0 +1,182 @@
+"""Failure models: what a node reports when it runs a job.
+
+The paper's threat model (Section 2.2) is Byzantine with collusion: a
+failing node reports *the same wrong result* as every other failing node
+on that task, which is the worst case for voting.  Section 5.3 relaxes
+this; the non-colluding model here implements that relaxation (distinct
+wrong values, so plurality voting gets traction), and the correlated model
+implements geographically dependent failures.
+
+A model answers one question per job::
+
+    value = model.report(task, node, rng)
+
+returning the reported :class:`~repro.core.types.ResultValue` or ``None``
+when the node goes silent (unresponsive).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core.types import ResultValue
+from repro.dca.node import Node
+from repro.dca.workload import Task
+
+
+class FailureModel(abc.ABC):
+    """Decides each job's reported value."""
+
+    @abc.abstractmethod
+    def report(
+        self, task: Task, node: Node, rng: random.Random
+    ) -> Optional[ResultValue]:
+        """The value the node reports for the task, or ``None`` if silent."""
+
+
+class ByzantineCollusion(FailureModel):
+    """The paper's worst case: all failures collude on one wrong value.
+
+    A job succeeds with the node's reliability; otherwise it reports the
+    task's single colluding wrong value.  Because failures are "aware of
+    other nodes that failed and how they failed", every failure on a task
+    is indistinguishable from every other -- the hardest setting for any
+    voting scheme.
+    """
+
+    def report(
+        self, task: Task, node: Node, rng: random.Random
+    ) -> Optional[ResultValue]:
+        if node.unresponsive_prob and rng.random() < node.unresponsive_prob:
+            return None
+        if rng.random() < node.reliability:
+            return task.true_value
+        return task.wrong_value
+
+
+class NonColludingFailures(FailureModel):
+    """Section 5.3 relaxation: failures report *distinct* wrong values.
+
+    Each failed job draws a wrong value from a large space, so wrong
+    answers rarely agree and the correct answer wins by plurality far more
+    easily -- the paper notes the binary colluding model upper-bounds the
+    failure probability of this case.
+
+    Args:
+        value_space: Number of distinct wrong values available.  Larger
+            spaces make accidental agreement among failures rarer.
+    """
+
+    def __init__(self, value_space: int = 1_000_000) -> None:
+        if value_space < 2:
+            raise ValueError(f"value space must have at least 2 values, got {value_space}")
+        self.value_space = value_space
+
+    def report(
+        self, task: Task, node: Node, rng: random.Random
+    ) -> Optional[ResultValue]:
+        if node.unresponsive_prob and rng.random() < node.unresponsive_prob:
+            return None
+        if rng.random() < node.reliability:
+            return task.true_value
+        return ("wrong", task.task_id, rng.randrange(self.value_space))
+
+
+class SpotCheckEvading(FailureModel):
+    """Byzantine nodes that answer spot-checks correctly.
+
+    Section 5.1: "Byzantine faults cannot be reliably spot-checked, and
+    malicious nodes can earn credibility and fool schemes for rating
+    credibility."  This wrapper models that: on spot-check jobs (the
+    sentinel task id -1) every node answers correctly with probability
+    ``evasion``, so credibility systems see malicious nodes pass checks,
+    raise their credibility, and then weight their colluding wrong votes
+    heavily.
+    """
+
+    def __init__(self, inner: FailureModel, evasion: float = 1.0) -> None:
+        if not 0.0 <= evasion <= 1.0:
+            raise ValueError(f"evasion probability must lie in [0, 1], got {evasion}")
+        self.inner = inner
+        self.evasion = evasion
+
+    def report(
+        self, task: Task, node: Node, rng: random.Random
+    ) -> Optional[ResultValue]:
+        if task.task_id < 0 and rng.random() < self.evasion:
+            return task.true_value
+        return self.inner.report(task, node, rng)
+
+
+class UnresponsiveWrapper(FailureModel):
+    """Adds a global silent-failure probability on top of another model.
+
+    Useful when unresponsiveness is a property of the environment (e.g.
+    flaky PlanetLab nodes) rather than of individual nodes.
+    """
+
+    def __init__(self, inner: FailureModel, silent_prob: float) -> None:
+        if not 0.0 <= silent_prob < 1.0:
+            raise ValueError(f"silent probability must lie in [0, 1), got {silent_prob}")
+        self.inner = inner
+        self.silent_prob = silent_prob
+
+    def report(
+        self, task: Task, node: Node, rng: random.Random
+    ) -> Optional[ResultValue]:
+        if rng.random() < self.silent_prob:
+            return None
+        return self.inner.report(task, node, rng)
+
+
+class CorrelatedFailures(FailureModel):
+    """Section 5.3 relaxation: geographically correlated failures.
+
+    Nodes belong to clusters (think: regions).  For each (task, cluster)
+    pair, the whole cluster suffers a correlated fault event with
+    probability ``cluster_fault_prob`` (a natural disaster takes out the
+    region for that task); nodes in a faulted cluster fail regardless of
+    their own reliability and collude on the task's wrong value.  Outside
+    fault events, nodes behave per the colluding base model.
+
+    The per-(task, cluster) draw is memoised so every node in the cluster
+    sees the same event -- that is the correlation.
+    """
+
+    def __init__(
+        self,
+        clusters: Dict[int, int],
+        cluster_fault_prob: float,
+    ) -> None:
+        if not 0.0 <= cluster_fault_prob < 1.0:
+            raise ValueError(
+                f"cluster fault probability must lie in [0, 1), got {cluster_fault_prob}"
+            )
+        self.clusters = dict(clusters)
+        self.cluster_fault_prob = cluster_fault_prob
+        self._events: Dict[Tuple[int, int], bool] = {}
+        self.base = ByzantineCollusion()
+
+    def cluster_of(self, node: Node) -> int:
+        return self.clusters.get(node.node_id, 0)
+
+    def report(
+        self, task: Task, node: Node, rng: random.Random
+    ) -> Optional[ResultValue]:
+        cluster = self.cluster_of(node)
+        key = (task.task_id, cluster)
+        faulted = self._events.get(key)
+        if faulted is None:
+            faulted = rng.random() < self.cluster_fault_prob
+            self._events[key] = faulted
+        if faulted:
+            return task.wrong_value
+        return self.base.report(task, node, rng)
+
+    def prune(self, task_id: int) -> None:
+        """Drop memoised events for a finished task (bounds memory)."""
+        stale = [key for key in self._events if key[0] == task_id]
+        for key in stale:
+            del self._events[key]

@@ -1,0 +1,126 @@
+"""The node pool: random selection, acquisition, and churn bookkeeping.
+
+The paper's system model assigns each job to a node chosen *at random*
+from the pool (this is what justifies assumption 1: every job has the same
+failure probability).  The pool therefore supports O(1) uniform random
+selection among currently available nodes, plus join/leave operations for
+churn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional
+
+from repro.dca.node import Node
+
+
+class NodePool:
+    """Tracks nodes and hands out random available ones.
+
+    Availability is maintained with the classic swap-remove trick: a list
+    of available node ids plus an index map, giving O(1) acquire, release,
+    join, and leave.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._available: List[int] = []
+        self._available_index: Dict[int, int] = {}
+        self._next_id = 0
+        self.joins = 0
+        self.departures = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    @property
+    def available_count(self) -> int:
+        return len(self._available)
+
+    def get(self, node_id: int) -> Optional[Node]:
+        return self._nodes.get(node_id)
+
+    def allocate_id(self) -> int:
+        """Fresh node id -- also how whitewashing nodes get new identities."""
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def join(self, node: Node) -> None:
+        """Add a node to the pool (volunteering)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already in pool")
+        self._nodes[node.node_id] = node
+        node.alive = True
+        if node.available:
+            self._mark_available(node.node_id)
+        self.joins += 1
+
+    def leave(self, node_id: int) -> Optional[Node]:
+        """Remove a node (quitting).  A busy node's in-flight job is the
+        task server's problem: its deadline will expire."""
+        node = self._nodes.pop(node_id, None)
+        if node is None:
+            return None
+        node.alive = False
+        self._unmark_available(node_id)
+        self.departures += 1
+        return node
+
+    def random_alive(self, rng: random.Random) -> Optional[Node]:
+        """A uniformly random member (available or busy), for churn."""
+        if not self._nodes:
+            return None
+        return self._nodes[rng.choice(list(self._nodes))]
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+
+    def acquire_random(self, rng: random.Random) -> Optional[Node]:
+        """Pick a uniformly random available node and mark it busy."""
+        if not self._available:
+            return None
+        index = rng.randrange(len(self._available))
+        node_id = self._available[index]
+        self._remove_available_at(index)
+        node = self._nodes[node_id]
+        node.busy = True
+        return node
+
+    def release(self, node: Node) -> None:
+        """Return a node to the available set after its job finishes."""
+        node.busy = False
+        if node.alive and node.node_id in self._nodes:
+            self._mark_available(node.node_id)
+
+    # ------------------------------------------------------------------
+    # Internal available-set maintenance
+    # ------------------------------------------------------------------
+
+    def _mark_available(self, node_id: int) -> None:
+        if node_id in self._available_index:
+            return
+        self._available_index[node_id] = len(self._available)
+        self._available.append(node_id)
+
+    def _unmark_available(self, node_id: int) -> None:
+        index = self._available_index.get(node_id)
+        if index is not None:
+            self._remove_available_at(index)
+
+    def _remove_available_at(self, index: int) -> None:
+        node_id = self._available[index]
+        last = self._available.pop()
+        del self._available_index[node_id]
+        if last != node_id:
+            self._available[index] = last
+            self._available_index[last] = index

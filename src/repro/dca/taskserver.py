@@ -1,0 +1,309 @@
+"""The task server: job dispatch, vote bookkeeping, and strategy-driven
+redundancy decisions (the central box of the paper's Figure 1).
+
+Responsibilities:
+
+* keep a FIFO queue of jobs awaiting a free node,
+* assign each job to a *uniformly random* available node (assumption 1),
+* watch deadlines: a job silent past the timeout counts as a failed
+  response (Section 2.2) and its ``None`` outcome is folded into the vote,
+* when a task's wave completes, ask the strategy to accept or extend,
+* optionally divert a fraction of assignments to *spot-check* jobs when
+  the strategy carries a credibility manager (the Sarmenta comparator).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.core.strategy import NodeAware, RedundancyStrategy
+from repro.core.types import Decision, JobOutcome, TaskVerdict, VoteState
+from repro.dca.failures import ByzantineCollusion, FailureModel
+from repro.dca.node import Node
+from repro.dca.pool import NodePool
+from repro.dca.report import TaskRecord
+from repro.sim.engine import Simulator, StopSimulation
+from repro.sim.events import Event
+from repro.dca.workload import Task
+
+
+@dataclass
+class _TaskState:
+    task: Task
+    vote: VoteState = field(default_factory=VoteState)
+    jobs_used: int = 0
+    waves: int = 0
+    first_dispatch: Optional[float] = None
+    submitted_at: float = 0.0
+    done: bool = False
+
+
+@dataclass
+class _Job:
+    state: Optional[_TaskState]  # None for spot-check jobs
+    node: Optional[Node] = None
+    completion_event: Optional[Event] = None
+    deadline_event: Optional[Event] = None
+    abandoned: bool = False
+    assigned_at: float = 0.0
+    spot_check: bool = False
+
+
+class TaskServer:
+    """Drives tasks to verdicts over a node pool.
+
+    Args:
+        sim: The discrete-event simulator.
+        pool: Node pool to draw workers from.
+        strategy: Redundancy strategy shared by all tasks.
+        failure_model: What failed jobs report (default: colluding
+            Byzantine, the paper's worst case).
+        duration_low / duration_high: Uniform nominal job durations.
+        timeout: Deadline after which a silent job counts as failed.
+        spot_check_rate: Probability an assignment is converted into a
+            spot-check when the strategy exposes a credibility manager.
+        on_all_done: Called once every submitted task has a verdict.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pool: NodePool,
+        strategy: RedundancyStrategy,
+        *,
+        failure_model: Optional[FailureModel] = None,
+        duration_low: float = 0.5,
+        duration_high: float = 1.5,
+        timeout: float = 15.0,
+        spot_check_rate: float = 0.0,
+        prioritize_followups: bool = True,
+        on_all_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.pool = pool
+        self.strategy = strategy
+        self.failure_model = failure_model or ByzantineCollusion()
+        self.duration_low = duration_low
+        self.duration_high = duration_high
+        self.timeout = timeout
+        self.spot_check_rate = spot_check_rate
+        self.on_all_done = on_all_done
+
+        self._node_aware = isinstance(strategy, NodeAware)
+        self._credibility_manager = getattr(strategy, "manager", None)
+        self.prioritize_followups = prioritize_followups
+        #: First waves of untouched tasks.
+        self._queue: Deque[_Job] = deque()
+        #: Follow-up waves of in-flight tasks.  When
+        #: ``prioritize_followups`` is set (the default, matching the
+        #: paper's response-time regime where open tasks finish before new
+        #: ones start), these are assigned first; otherwise both queues
+        #: drain FIFO together.
+        self._followup_queue: Deque[_Job] = deque()
+        self._states: Dict[int, _TaskState] = {}
+        self.records: List[TaskRecord] = []
+        self.total_jobs_dispatched = 0
+        self.jobs_timed_out = 0
+        self.spot_checks_issued = 0
+        self._remaining = 0
+
+        self._rng_select = sim.rng.stream("node-selection")
+        self._rng_durations = sim.rng.stream("durations")
+        self._rng_failures = sim.rng.stream("failures")
+        self._rng_spot = sim.rng.stream("spot-checks")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def remaining_tasks(self) -> int:
+        return self._remaining
+
+    def submit(self, task: Task) -> None:
+        """Accept a task and enqueue its first wave of jobs."""
+        if task.task_id in self._states:
+            raise ValueError(f"task {task.task_id} already submitted")
+        state = _TaskState(task=task, submitted_at=self.sim.now)
+        self._states[task.task_id] = state
+        self._remaining += 1
+        self._enqueue_jobs(state, self.strategy.initial_jobs())
+        state.waves = 1
+
+    def pump(self) -> None:
+        """Assign queued jobs to available nodes (call after churn joins)."""
+        while self.pool.available_count > 0:
+            if self.prioritize_followups and self._followup_queue:
+                job = self._followup_queue.popleft()
+            elif self._queue:
+                job = self._queue.popleft()
+            elif self._followup_queue:
+                job = self._followup_queue.popleft()
+            else:
+                break
+            if job.abandoned or (job.state is not None and job.state.done):
+                continue
+            self._assign(job)
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+
+    def _enqueue_jobs(self, state: _TaskState, count: int, *, followup: bool = False) -> None:
+        state.vote.dispatched(count)
+        target = self._followup_queue if followup else self._queue
+        for _ in range(count):
+            target.append(_Job(state=state))
+        self.pump()
+
+    def _maybe_spot_check(self) -> bool:
+        return (
+            self._credibility_manager is not None
+            and self.spot_check_rate > 0.0
+            and self._rng_spot.random() < self.spot_check_rate
+        )
+
+    def _assign(self, job: _Job) -> None:
+        node = self.pool.acquire_random(self._rng_select)
+        if node is None:  # raced with a departure; requeue at the front
+            self._followup_queue.appendleft(job)
+            return
+        if not job.spot_check and self._maybe_spot_check():
+            # Divert this node to a spot-check first; the real job goes
+            # back to the head of the high-priority queue.
+            self._followup_queue.appendleft(job)
+            job = _Job(state=None, spot_check=True)
+            self.spot_checks_issued += 1
+        job.node = node
+        job.assigned_at = self.sim.now
+        self.total_jobs_dispatched += 1
+        if job.state is not None and job.state.first_dispatch is None:
+            job.state.first_dispatch = self.sim.now
+
+        task = job.state.task if job.state is not None else _SPOT_CHECK_TASK
+        value = self.failure_model.report(task, node, self._rng_failures)
+        nominal = task.nominal_duration
+        if nominal is None:
+            nominal = self._rng_durations.uniform(self.duration_low, self.duration_high)
+        duration = node.job_duration(nominal)
+
+        job.deadline_event = self.sim.schedule_after(
+            self.timeout, lambda ev, j=job: self._on_deadline(j)
+        )
+        if value is not None:
+            job.completion_event = self.sim.schedule_after(
+                duration, lambda ev, j=job, v=value: self._on_complete(j, v)
+            )
+        # A silent job (value None) schedules no completion: only the
+        # deadline will fire, exactly like a node that never reports.
+
+    def _on_complete(self, job: _Job, value) -> None:
+        if job.abandoned:
+            return
+        node = job.node
+        assert node is not None
+        if not node.alive:
+            # The node quit mid-job; its result is lost.  The deadline
+            # event will fold the silence into the vote.
+            return
+        job.abandoned = True
+        if job.deadline_event is not None:
+            self.sim.cancel(job.deadline_event)
+        self.pool.release(node)
+        if job.spot_check:
+            self._finish_spot_check(node, value)
+        else:
+            node.jobs_completed += 1
+            self._record_outcome(
+                job.state,
+                JobOutcome(
+                    value=value,
+                    node_id=node.node_id,
+                    elapsed=self.sim.now - job.assigned_at,
+                ),
+            )
+        self.pump()
+
+    def _on_deadline(self, job: _Job) -> None:
+        if job.abandoned:
+            return
+        job.abandoned = True
+        if job.completion_event is not None:
+            self.sim.cancel(job.completion_event)
+        self.jobs_timed_out += 1
+        node = job.node
+        if node is not None:
+            node.jobs_failed += 1
+            # The node either died or hung; if it is still nominally alive
+            # we return it to the pool (it "recovers"), mirroring flaky
+            # volunteers that stay registered.
+            if node.alive:
+                self.pool.release(node)
+        if job.spot_check:
+            if node is not None and self._credibility_manager is not None:
+                self._credibility_manager.spot_check(node.node_id, passed=False)
+        else:
+            self._record_outcome(
+                job.state,
+                JobOutcome(value=None, node_id=node.node_id if node else None),
+            )
+        self.pump()
+
+    def _finish_spot_check(self, node: Node, value) -> None:
+        if self._credibility_manager is not None:
+            passed = value == _SPOT_CHECK_TASK.true_value
+            self._credibility_manager.spot_check(node.node_id, passed=passed)
+
+    # ------------------------------------------------------------------
+    # Vote bookkeeping
+    # ------------------------------------------------------------------
+
+    def _record_outcome(self, state: Optional[_TaskState], outcome: JobOutcome) -> None:
+        assert state is not None
+        if state.done:
+            return
+        state.vote.record(outcome)
+        state.jobs_used += 1
+        if self._node_aware:
+            self.strategy.record_outcome(state.task.task_id, outcome)
+        if state.vote.outstanding == 0:
+            self._decide(state)
+
+    def _decide(self, state: _TaskState) -> None:
+        decision = self.strategy.decide(state.vote)
+        if not decision.done:
+            state.waves += 1
+            self._enqueue_jobs(state, decision.more_jobs, followup=True)
+            return
+        state.done = True
+        now = self.sim.now
+        record = TaskRecord(
+            task_id=state.task.task_id,
+            value=decision.accepted,
+            correct=decision.accepted == state.task.true_value,
+            jobs_used=state.jobs_used,
+            waves=state.waves,
+            response_time=now - (state.first_dispatch if state.first_dispatch is not None else now),
+            turnaround=now - state.submitted_at,
+        )
+        self.records.append(record)
+        if self._node_aware:
+            self.strategy.task_finished(
+                state.task.task_id,
+                TaskVerdict(
+                    value=decision.accepted,
+                    correct=None,  # ground truth is never shown to strategies
+                    jobs_used=state.jobs_used,
+                    waves=state.waves,
+                ),
+            )
+        self._remaining -= 1
+        if self._remaining == 0 and self.on_all_done is not None:
+            self.on_all_done()
+
+
+#: Ground-truth task used for spot-check jobs: the server knows the answer.
+_SPOT_CHECK_TASK = Task(task_id=-1, true_value=True, wrong_value=False)

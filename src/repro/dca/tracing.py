@@ -1,0 +1,217 @@
+"""Structured job-lifecycle tracing for DCA simulations.
+
+Production distributed systems live and die by their traces; the DES is
+no different when debugging a redundancy policy.  A :class:`TraceLog`
+records typed events (submit, dispatch, complete, timeout, decide) with
+simulated timestamps, supports filtering, and can reconstruct a per-task
+timeline -- the raw material for response-time forensics.
+
+Attach one via :func:`instrument_server`; the instrumentation wraps the
+task server's internals without the server knowing (so the hot path stays
+clean when tracing is off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.dca.taskserver import TaskServer
+
+#: Event kinds, in rough lifecycle order.
+SUBMIT = "submit"
+DISPATCH = "dispatch"
+COMPLETE = "complete"
+TIMEOUT = "timeout"
+DECIDE = "decide"
+ACCEPT = "accept"
+
+_KINDS = (SUBMIT, DISPATCH, COMPLETE, TIMEOUT, DECIDE, ACCEPT)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence.
+
+    Attributes:
+        time: Simulated timestamp.
+        kind: One of the module-level kind constants.
+        task_id: The task involved (-1 for spot-checks).
+        detail: Kind-specific payload (node id, value, wave size, ...).
+    """
+
+    time: float
+    kind: str
+    task_id: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown trace-event kind {self.kind!r}")
+
+
+class TraceLog:
+    """An append-only, queryable event log.
+
+    Args:
+        capacity: Optional bound; the oldest events are dropped once it
+            is exceeded (simulations generate millions of events).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        if self.capacity is not None and len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self.dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def filter(
+        self,
+        *,
+        kind: Optional[str] = None,
+        task_id: Optional[int] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[TraceEvent]:
+        """Events matching every given criterion."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if task_id is not None and event.task_id != task_id:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            out.append(event)
+        return out
+
+    def timeline(self, task_id: int) -> List[TraceEvent]:
+        """The full lifecycle of one task, in time order."""
+        return self.filter(task_id=task_id)
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind."""
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render(self, task_id: int) -> str:
+        """A human-readable timeline for one task."""
+        lines = [f"task {task_id}"]
+        for event in self.timeline(task_id):
+            detail = " ".join(f"{k}={v}" for k, v in sorted(event.detail.items()))
+            lines.append(f"  t={event.time:10.4f}  {event.kind:8s} {detail}")
+        return "\n".join(lines)
+
+
+def instrument_server(server: TaskServer, log: TraceLog) -> TraceLog:
+    """Wrap a task server's internals so every lifecycle step is traced.
+
+    Returns the log for chaining.  Instrumentation is monkey-patch style
+    on the single server instance -- the un-instrumented hot path pays
+    nothing.
+    """
+    sim = server.sim
+
+    original_submit = server.submit
+
+    def traced_submit(task):
+        log.record(TraceEvent(sim.now, SUBMIT, task.task_id))
+        return original_submit(task)
+
+    original_assign = server._assign
+
+    def traced_assign(job):
+        result = original_assign(job)
+        if job.node is not None:
+            task_id = job.state.task.task_id if job.state is not None else -1
+            log.record(
+                TraceEvent(
+                    sim.now,
+                    DISPATCH,
+                    task_id,
+                    {"node": job.node.node_id, "spot_check": job.spot_check},
+                )
+            )
+        return result
+
+    original_complete = server._on_complete
+
+    def traced_complete(job, value):
+        # Record before delegating so the event precedes any ACCEPT it
+        # causes (and survives a StopSimulation raised downstream).  The
+        # guard mirrors the server's own: abandoned jobs and dead nodes
+        # produce no counted completion.
+        counted = not job.abandoned and job.node is not None and job.node.alive
+        if counted:
+            task_id = job.state.task.task_id if job.state is not None else -1
+            log.record(
+                TraceEvent(
+                    sim.now,
+                    COMPLETE,
+                    task_id,
+                    {"node": job.node.node_id, "value": value},
+                )
+            )
+        return original_complete(job, value)
+
+    original_deadline = server._on_deadline
+
+    def traced_deadline(job):
+        if not job.abandoned:
+            task_id = job.state.task.task_id if job.state is not None else -1
+            node_id = job.node.node_id if job.node is not None else None
+            log.record(TraceEvent(sim.now, TIMEOUT, task_id, {"node": node_id}))
+        return original_deadline(job)
+
+    original_decide = server._decide
+
+    def traced_decide(state):
+        before_done = state.done
+        try:
+            # May raise StopSimulation on the final task (the server's
+            # on_all_done hook); record in ``finally`` so the last accept
+            # is still traced.
+            return original_decide(state)
+        finally:
+            if state.done and not before_done:
+                log.record(
+                    TraceEvent(
+                        sim.now,
+                        ACCEPT,
+                        state.task.task_id,
+                        {"jobs": state.jobs_used, "waves": state.waves},
+                    )
+                )
+            elif not state.done:
+                log.record(
+                    TraceEvent(
+                        sim.now,
+                        DECIDE,
+                        state.task.task_id,
+                        {"outstanding_more": state.vote.outstanding},
+                    )
+                )
+
+    server.submit = traced_submit
+    server._assign = traced_assign
+    server._on_complete = traced_complete
+    server._on_deadline = traced_deadline
+    server._decide = traced_decide
+    return log

@@ -1,0 +1,185 @@
+"""Shared plumbing for the experiment harnesses: series containers,
+replication with confidence intervals, and fixed-width table rendering."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.strategy import RedundancyStrategy
+from repro.dca import DcaConfig, DcaReport, run_dca
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One point of a reliability-vs-cost (or similar) series."""
+
+    label: str
+    cost: float
+    reliability: float
+    cost_err: float = 0.0
+    reliability_err: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """A named sequence of points (one technique's curve)."""
+
+    name: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, point: SeriesPoint) -> None:
+        self.points.append(point)
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment's ``compute`` returns: titled series plus notes."""
+
+    title: str
+    series: List[Series]
+    notes: List[str] = field(default_factory=list)
+
+    def series_by_name(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        """JSON-ready structure (for ``--json`` and downstream tooling)."""
+        return {
+            "title": self.title,
+            "notes": list(self.notes),
+            "series": [
+                {
+                    "name": series.name,
+                    "points": [
+                        {
+                            "label": point.label,
+                            "cost": point.cost,
+                            "reliability": point.reliability,
+                            "cost_err": point.cost_err,
+                            "reliability_err": point.reliability_err,
+                            "extra": dict(point.extra),
+                        }
+                        for point in series.points
+                    ],
+                }
+                for series in self.series
+            ],
+        }
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Fixed-width text table, the form every experiment prints."""
+    columns = [str(h) for h in header]
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "-"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass(frozen=True)
+class ReplicatedMeasurement:
+    """Mean and standard error over independent replications."""
+
+    mean_reliability: float
+    mean_cost: float
+    reliability_err: float
+    cost_err: float
+    mean_response_time: float
+    max_jobs: int
+    replications: int
+
+
+def replicate_dca(
+    strategy_factory: Callable[[], RedundancyStrategy],
+    *,
+    tasks: int,
+    nodes: int,
+    reliability: float,
+    replications: int = 3,
+    seed: int = 0,
+    **config_overrides,
+) -> ReplicatedMeasurement:
+    """Run several independent DES replications and aggregate with errors.
+
+    A fresh strategy instance per replication keeps node-aware strategies
+    honest; seeds derive from the base seed.
+    """
+    if replications < 1:
+        raise ValueError(f"need at least one replication, got {replications}")
+    reliabilities: List[float] = []
+    costs: List[float] = []
+    responses: List[float] = []
+    max_jobs = 0
+    for repetition in range(replications):
+        report = run_dca(
+            DcaConfig(
+                strategy=strategy_factory(),
+                tasks=tasks,
+                nodes=nodes,
+                reliability=reliability,
+                seed=seed * 10_007 + repetition,
+                **config_overrides,
+            )
+        )
+        reliabilities.append(report.system_reliability)
+        costs.append(report.cost_factor)
+        responses.append(report.mean_response_time)
+        max_jobs = max(max_jobs, report.max_jobs_per_task)
+    return ReplicatedMeasurement(
+        mean_reliability=_mean(reliabilities),
+        mean_cost=_mean(costs),
+        reliability_err=_stderr(reliabilities),
+        cost_err=_stderr(costs),
+        mean_response_time=_mean(responses),
+        max_jobs=max_jobs,
+        replications=replications,
+    )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _stderr(values: Sequence[float]) -> float:
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = _mean(values)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return math.sqrt(variance / n)
+
+
+#: Scales for the CLI: (tasks, nodes, replications) for DES experiments.
+SCALES = {
+    "smoke": dict(tasks=1_000, nodes=200, replications=2),
+    "default": dict(tasks=10_000, nodes=1_000, replications=3),
+    "full": dict(tasks=100_000, nodes=10_000, replications=3),
+}

@@ -1,0 +1,138 @@
+"""Figure 5(b): the BOINC-on-PlanetLab deployment study.
+
+The paper deployed BOINC on 200 PlanetLab nodes solving 22-variable 3-SAT
+problems split into 140 tasks, with 30% seeded faults plus unknown natural
+PlanetLab failures, and plotted system reliability vs cost factor per
+technique.  It then *derived* the node reliability from the measurements
+-- consistently 0.64 < r < 0.67 across all techniques and parameters --
+as evidence of experimental validity.
+
+This harness runs the synthetic PlanetLab deployment
+(:mod:`repro.volunteer`) with the same shape: 200 nodes, 140 tasks per
+problem, seeded 0.3 faults, natural fault and unresponsiveness processes
+the algorithms are never told about.  It reports each run's measured
+reliability, cost, and the derived r.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
+from repro.core.strategy import RedundancyStrategy
+from repro.experiments.common import ExperimentResult, Series, SeriesPoint, render_table
+from repro.volunteer import PlanetLabTestbed, VolunteerConfig, run_volunteer
+
+DEFAULT_KS = (3, 7, 11, 15, 19)
+DEFAULT_DS = (1, 2, 3, 4, 5, 6)
+
+#: (sat_vars, tasks) per scale; the full scale is the paper's exact shape.
+DEPLOYMENT_SCALES = {
+    "smoke": dict(sat_vars=12, tasks=60, problems=2),
+    "default": dict(sat_vars=16, tasks=140, problems=3),
+    "full": dict(sat_vars=22, tasks=140, problems=5),
+}
+
+
+def compute(
+    ks: Sequence[int] = DEFAULT_KS,
+    ds: Sequence[int] = DEFAULT_DS,
+    *,
+    sat_vars: int = 16,
+    tasks: int = 140,
+    problems: int = 3,
+    nodes: int = 200,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Run the volunteer deployment per technique and parameter."""
+    testbed = PlanetLabTestbed(nodes=nodes)
+    series_list: List[Series] = []
+    sweeps: List[Tuple[str, List[Tuple[str, RedundancyStrategy]]]] = [
+        ("TR", [(f"k={k}", TraditionalRedundancy(k)) for k in ks]),
+        ("PR", [(f"k={k}", ProgressiveRedundancy(k)) for k in ks]),
+        ("IR", [(f"d={d}", IterativeRedundancy(d)) for d in ds]),
+    ]
+    for name, strategies in sweeps:
+        series = Series(name)
+        for label, strategy in strategies:
+            reliabilities, costs, derived = [], [], []
+            problems_correct = 0
+            for problem in range(problems):
+                report = run_volunteer(
+                    VolunteerConfig(
+                        strategy=strategy,
+                        testbed=testbed,
+                        sat_vars=sat_vars,
+                        tasks=tasks,
+                        seed=seed * 1_000 + problem,
+                    )
+                )
+                reliabilities.append(report.system_reliability)
+                costs.append(report.cost_factor)
+                if report.derived_reliability == report.derived_reliability:
+                    derived.append(report.derived_reliability)
+                if report.problem_correct:
+                    problems_correct += 1
+            series.add(
+                SeriesPoint(
+                    label=label,
+                    cost=sum(costs) / len(costs),
+                    reliability=sum(reliabilities) / len(reliabilities),
+                    extra={
+                        "derived_r": sum(derived) / len(derived) if derived else float("nan"),
+                        "problems_correct": problems_correct,
+                        "problems": problems,
+                    },
+                )
+            )
+        series_list.append(series)
+    return ExperimentResult(
+        title=(
+            f"Figure 5(b): volunteer deployment on synthetic PlanetLab "
+            f"({nodes} nodes, {tasks} tasks/problem, {sat_vars}-var 3-SAT, "
+            f"{problems} problems/point)"
+        ),
+        series=series_list,
+        notes=[
+            "seeded fault rate 0.3; natural faults push true r below 0.7",
+            "derived r should sit consistently in ~0.62-0.67 across techniques",
+            "at equal cost: IR > PR > TR, as in Figure 5(a)",
+        ],
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    rows: List[List[object]] = []
+    for series in result.series:
+        for point in series.points:
+            rows.append(
+                [
+                    series.name,
+                    point.label,
+                    point.cost,
+                    point.reliability,
+                    point.extra["derived_r"],
+                    f"{point.extra['problems_correct']}/{point.extra['problems']}",
+                ]
+            )
+    return render_table(
+        result.title,
+        ["technique", "param", "cost", "reliability", "derived r", "problems correct"],
+        rows,
+        result.notes,
+    )
+
+
+def main(scale: str = "default") -> str:
+    params = DEPLOYMENT_SCALES[scale]
+    return render(
+        compute(
+            sat_vars=params["sat_vars"],
+            tasks=params["tasks"],
+            problems=params["problems"],
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main("smoke"))

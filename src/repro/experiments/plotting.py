@@ -1,0 +1,75 @@
+"""Dependency-free ASCII scatter plots for the experiment CLI.
+
+The paper's figures are reliability-vs-cost scatters; a terminal plot next
+to the numeric table makes the orderings legible at a glance::
+
+    python -m repro.experiments figure3 --plot
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentResult, Series
+
+#: Marker characters per series, in order.
+MARKERS = "TPI*ox+#"
+
+
+def ascii_plot(
+    result: ExperimentResult,
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "cost factor",
+    y_label: str = "reliability",
+) -> str:
+    """Render the result's series as an ASCII scatter plot.
+
+    Each series gets a marker (``T``, ``P``, ``I``, ... in series order);
+    colliding points show the later series' marker.  Returns the plot
+    followed by a legend.
+    """
+    if width < 20 or height < 5:
+        raise ValueError("plot needs at least 20x5 characters")
+    points: List[Tuple[float, float, str]] = []
+    legend: List[str] = []
+    for index, series in enumerate(result.series):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} = {series.name}")
+        for point in series.points:
+            if _finite(point.cost) and _finite(point.reliability):
+                points.append((point.cost, point.reliability, marker))
+    if not points:
+        return "(no finite points to plot)"
+
+    x_min = min(p[0] for p in points)
+    x_max = max(p[0] for p in points)
+    y_min = min(p[1] for p in points)
+    y_max = max(p[1] for p in points)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    lines = [result.title]
+    lines.append(f"{y_max:.4g} ({y_label})")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    left = f"{x_min:.4g}"
+    right = f"{x_max:.4g} ({x_label})"
+    padding = max(1, width - len(left) - len(right))
+    lines.append("   " + left + " " * padding + right)
+    lines.append(f"{y_min:.4g} = bottom of y-axis")
+    lines.append("legend: " + ", ".join(legend))
+    return "\n".join(lines)
+
+
+def _finite(value: float) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)

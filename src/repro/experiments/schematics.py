@@ -1,0 +1,78 @@
+"""ASCII renderings of the paper's schematic figures (1 and 2).
+
+Figures 1 and 2 carry no data -- they depict the DCA system model and the
+three algorithms' control flow -- but a reproduction is easier to check
+against the paper when the repository can print its own understanding of
+them.  The schematics below are generated from the same constants the
+implementation uses (consensus sizes, wave rules), so they cannot drift
+from the code.
+"""
+
+from __future__ import annotations
+
+from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
+
+
+def figure1_schematic() -> str:
+    """The DCA model of Figure 1, as the dca package implements it."""
+    return "\n".join(
+        [
+            "Figure 1 schematic: the DCA system model (repro.dca)",
+            "",
+            "  computation --subdivide--> tasks --create jobs--> job queue",
+            "                                                        |",
+            "        node pool  <--[ uniformly random selection ]----+",
+            "      (join/leave)                                      |",
+            "            ^                 assign job to node        v",
+            "            |                                       perform job",
+            "            +------ return to pool <--- report ---------+",
+            "                                                        |",
+            "            compare results (strategy.decide) ----------+",
+            "                 |                    |",
+            "              accept            create new jobs",
+            "",
+            "  churn: new nodes volunteer / nodes quit at Poisson rates",
+            "  deadline: a silent job counts as failed (Section 2.2)",
+        ]
+    )
+
+
+def figure2_schematic() -> str:
+    """The three algorithms of Figure 2, parameterised live."""
+    k = 19
+    d = 4
+    traditional = TraditionalRedundancy(k)
+    progressive = ProgressiveRedundancy(k)
+    iterative = IterativeRedundancy(d)
+    return "\n".join(
+        [
+            "Figure 2 schematic: the three redundancy algorithms",
+            "",
+            f"(a) traditional, k={k}",
+            f"      distribute {traditional.initial_jobs()} independent jobs",
+            f"      take the majority (>= {(k + 1) // 2} identical results)",
+            "      -> solution",
+            "",
+            f"(b) progressive, k={k}",
+            f"      distribute {progressive.initial_jobs()} jobs  "
+            "(the consensus size, not k)",
+            f"      while max(a, b) < {(k + 1) // 2}:",
+            "          distribute consensus - max(a, b) more jobs",
+            "      -> solution  (never more than k responses, "
+            f"<= {(k + 1) // 2} waves)",
+            "",
+            f"(c) iterative, d={d}",
+            f"      distribute {iterative.initial_jobs()} jobs",
+            f"      while a - b < {d}:",
+            f"          distribute {d} - (a - b) more jobs; swap if a < b",
+            "      -> solution  (cost adapts to the node pool; unbounded tail)",
+        ]
+    )
+
+
+def main(scale: str = "default") -> str:
+    return figure1_schematic() + "\n\n" + figure2_schematic()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

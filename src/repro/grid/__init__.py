@@ -1,0 +1,35 @@
+"""A grid-computing substrate (the paper's third DCA class).
+
+The paper's opening lists grid systems (e.g., Globus) alongside
+volunteer computing and MapReduce as distributed computation
+architectures that need redundancy.  Grids differ from volunteer pools in
+structure: compute *sites* (clusters) with bounded slot counts and batch
+queues, a resource *broker* that routes jobs to sites, and failure modes
+that correlate *within* a site (a misconfigured node image, a flaky
+shared filesystem, a maintenance window takes out the whole cluster).
+
+That correlation is exactly the Section 5.3 relaxation: replicas of one
+task placed on the same site do not fail independently, so a vote among
+them is worth less than it looks.  The substrate makes the interplay
+measurable:
+
+* :class:`~repro.grid.site.GridSite` -- slots, a FIFO batch queue, site
+  reliability, and scheduled maintenance windows;
+* :class:`~repro.grid.broker.ResourceBroker` -- routing policies
+  (random, least-loaded, round-robin) with optional *anti-affinity*:
+  never place two jobs of the same task on one site;
+* :func:`~repro.grid.run.run_grid` -- execute a redundant computation
+  across sites and report the usual Section 4.1 measures.
+"""
+
+from repro.grid.site import GridSite, MaintenanceWindow
+from repro.grid.broker import ResourceBroker
+from repro.grid.run import GridConfig, run_grid
+
+__all__ = [
+    "GridConfig",
+    "GridSite",
+    "MaintenanceWindow",
+    "ResourceBroker",
+    "run_grid",
+]

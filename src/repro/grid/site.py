@@ -1,0 +1,175 @@
+"""Grid sites: bounded clusters with batch queues and shared fate.
+
+A site executes jobs on a fixed number of slots; excess jobs wait in its
+FIFO batch queue.  Failures have two layers:
+
+* a *site-level* fault mode: for each task, the whole site is either
+  poisoned (all its jobs for that task return the colluding wrong value)
+  or clean -- drawn once per (site, task), which is what makes same-site
+  replicas correlated;
+* a *node-level* residual: even on a clean site each job independently
+  fails with the site's per-job fault rate.
+
+Maintenance windows take the whole site offline: queued and running jobs
+are frozen until the window ends (their deadlines, managed by the caller,
+may expire meanwhile).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """A scheduled full-site outage [start, start + duration)."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("maintenance window needs start >= 0 and duration > 0")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class _QueuedJob:
+    job_id: int
+    task_id: int
+    true_value: object
+    wrong_value: object
+    on_result: Callable[[int, object], None]
+
+
+class GridSite:
+    """One cluster in the grid.
+
+    Args:
+        sim: The simulator.
+        site_id: Identity.
+        slots: Parallel job capacity.
+        site_fault_prob: Per-task probability the whole site is poisoned
+            for that task (the correlated fault mode).
+        job_fault_prob: Residual independent per-job fault probability on
+            a clean site.
+        duration_low / duration_high: Uniform job service times.
+        maintenance: Scheduled outages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_id: int,
+        *,
+        slots: int = 16,
+        site_fault_prob: float = 0.0,
+        job_fault_prob: float = 0.1,
+        duration_low: float = 0.5,
+        duration_high: float = 1.5,
+        maintenance: Tuple[MaintenanceWindow, ...] = (),
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"site needs at least one slot, got {slots}")
+        for name, p in (("site_fault_prob", site_fault_prob), ("job_fault_prob", job_fault_prob)):
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must lie in [0, 1), got {p}")
+        if not 0.0 < duration_low <= duration_high:
+            raise ValueError("need 0 < duration_low <= duration_high")
+        self.sim = sim
+        self.site_id = site_id
+        self.slots = slots
+        self.site_fault_prob = site_fault_prob
+        self.job_fault_prob = job_fault_prob
+        self.duration_low = duration_low
+        self.duration_high = duration_high
+        self.maintenance = tuple(sorted(maintenance, key=lambda w: w.start))
+        self._rng = sim.rng.stream(f"site-{site_id}")
+        self._queue: Deque[_QueuedJob] = deque()
+        self._running = 0
+        self._poisoned: Dict[int, bool] = {}
+        self.jobs_completed = 0
+        self.jobs_queued_total = 0
+        self._offline = False
+        for window in self.maintenance:
+            sim.schedule(window.start, lambda ev, w=window: self._enter_maintenance(w))
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def online(self) -> bool:
+        return not self._offline
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def load(self) -> int:
+        """Running plus queued jobs (the broker's least-loaded metric)."""
+        return self._running + len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Submission and execution
+    # ------------------------------------------------------------------
+
+    def submit(self, job: _QueuedJob) -> None:
+        """Enqueue a job; it starts when a slot frees and the site is up."""
+        self.jobs_queued_total += 1
+        self._queue.append(job)
+        self._try_start()
+
+    def _try_start(self) -> None:
+        while self.online and self._running < self.slots and self._queue:
+            job = self._queue.popleft()
+            self._running += 1
+            duration = self._rng.uniform(self.duration_low, self.duration_high)
+            self.sim.schedule_after(duration, lambda ev, j=job: self._finish(j))
+
+    def _finish(self, job: _QueuedJob) -> None:
+        self._running -= 1
+        self.jobs_completed += 1
+        value = self._job_value(job)
+        job.on_result(job.job_id, value)
+        self._try_start()
+
+    def _job_value(self, job: _QueuedJob):
+        if self._task_poisoned(job.task_id):
+            return job.wrong_value
+        if self._rng.random() < self.job_fault_prob:
+            return job.wrong_value
+        return job.true_value
+
+    def _task_poisoned(self, task_id: int) -> bool:
+        poisoned = self._poisoned.get(task_id)
+        if poisoned is None:
+            poisoned = self._rng.random() < self.site_fault_prob
+            self._poisoned[task_id] = poisoned
+        return poisoned
+
+    def effective_job_reliability(self) -> float:
+        """P(one job correct) marginalised over the site fault mode."""
+        clean = 1.0 - self.site_fault_prob
+        return clean * (1.0 - self.job_fault_prob)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def _enter_maintenance(self, window: MaintenanceWindow) -> None:
+        self._offline = True
+        self.sim.schedule(window.end, lambda ev: self._exit_maintenance())
+
+    def _exit_maintenance(self) -> None:
+        self._offline = False
+        self._try_start()

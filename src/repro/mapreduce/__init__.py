@@ -1,0 +1,35 @@
+"""A MapReduce-style computation layer on the redundant DCA substrate.
+
+The paper's opening examples of DCAs are grid systems, volunteer
+computing, *and MapReduce systems (e.g., Hadoop)*, and its Section 3.1
+notes that Hadoop relies on traditional redundancy.  This package shows
+what "smart redundancy" looks like for that third class: a miniature
+MapReduce whose map tasks run as redundant jobs under any
+:class:`~repro.core.strategy.RedundancyStrategy`, so a wrong map output
+must out-vote the redundancy before it can poison the reduce.
+
+Pieces:
+
+* :class:`~repro.mapreduce.job.MapReduceJob` -- job description: input
+  chunks, a map function, a (commutative, associative) reduce function;
+* :class:`~repro.mapreduce.engine.MapReduceEngine` -- executes the map
+  phase on the DCA discrete-event model (each chunk is one task; each
+  redundant job applies the map function or, when Byzantine, a corrupted
+  variant) and folds the accepted map outputs through the reducer;
+* :func:`~repro.mapreduce.engine.run_mapreduce` -- one-call entry point.
+
+The map outputs are arbitrary hashable values, exercising the paper's
+Section 5.3 non-binary regime end to end: colluding corruption (all
+failures agree on one wrong output per chunk) remains the worst case.
+"""
+
+from repro.mapreduce.job import MapReduceJob, wordcount_job
+from repro.mapreduce.engine import MapReduceEngine, MapReduceReport, run_mapreduce
+
+__all__ = [
+    "MapReduceEngine",
+    "MapReduceJob",
+    "MapReduceReport",
+    "run_mapreduce",
+    "wordcount_job",
+]

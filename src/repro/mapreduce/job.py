@@ -1,0 +1,98 @@
+"""MapReduce job descriptions.
+
+A job is a list of input chunks, a pure map function, and a reduce
+function that must be commutative and associative (the engine folds
+accepted map outputs in chunk order, but redundancy means outputs arrive
+from a vote, not a deterministic worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+#: A map output must be hashable so votes can tally it.
+MapOutput = Hashable
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """One MapReduce computation.
+
+    Attributes:
+        chunks: The input splits; each becomes one DCA task.
+        map_function: Pure function chunk -> hashable map output.
+        reduce_function: Fold of two map outputs into one.
+        identity: The reduce fold's initial value.
+    """
+
+    chunks: Tuple
+    map_function: Callable
+    reduce_function: Callable
+    identity: MapOutput
+
+    def __post_init__(self) -> None:
+        if not self.chunks:
+            raise ValueError("a MapReduce job needs at least one input chunk")
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.chunks)
+
+    def expected_output(self) -> MapOutput:
+        """Ground truth: map every chunk honestly and reduce."""
+        result = self.identity
+        for chunk in self.chunks:
+            result = self.reduce_function(result, self.map_function(chunk))
+        return result
+
+
+def _merge_counts(left: Tuple, right: Tuple) -> Tuple:
+    """Merge two sorted (word, count) tuples."""
+    counts: Dict[str, int] = {}
+    for word, count in left:
+        counts[word] = counts.get(word, 0) + count
+    for word, count in right:
+        counts[word] = counts.get(word, 0) + count
+    return tuple(sorted(counts.items()))
+
+
+def _count_words(chunk: str) -> Tuple:
+    counts: Dict[str, int] = {}
+    for word in chunk.split():
+        word = word.lower().strip(".,;:!?\"'()")
+        if word:
+            counts[word] = counts.get(word, 0) + 1
+    return tuple(sorted(counts.items()))
+
+
+def wordcount_job(text: str, *, chunk_size: int = 200) -> MapReduceJob:
+    """The canonical example: word counting over a text.
+
+    The text splits into word-aligned chunks of roughly ``chunk_size``
+    characters; map outputs are sorted (word, count) tuples (hashable, so
+    votable); reduce merges them.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be positive, got {chunk_size}")
+    words = text.split()
+    if not words:
+        raise ValueError("cannot count words of an empty text")
+    chunks: List[str] = []
+    current: List[str] = []
+    length = 0
+    for word in words:
+        current.append(word)
+        length += len(word) + 1
+        if length >= chunk_size:
+            chunks.append(" ".join(current))
+            current = []
+            length = 0
+    if current:
+        chunks.append(" ".join(current))
+    return MapReduceJob(
+        chunks=tuple(chunks),
+        map_function=_count_words,
+        reduce_function=_merge_counts,
+        identity=(),
+    )

@@ -1,0 +1,50 @@
+"""Replicated services: primary backup and active replication (Section 6).
+
+The paper positions iterative redundancy as *complementary* to the two
+classic replication architectures:
+
+* **primary backup** -- one primary serves requests and streams updates
+  to ``n`` backups; a crash fails over to a backup.  "Iterative
+  redundancy complements primary backup by specifying, at runtime, how
+  many backups should exist to guarantee the maximum reliability for a
+  given cost."
+* **active replication** -- every replica executes every request and the
+  client votes on the answers.  "Iterative redundancy complements active
+  replication by specifying, at runtime, how many replicas should
+  exist."
+
+This package builds both on the discrete-event engine:
+
+* :mod:`~repro.replication.statemachine` -- the replicated deterministic
+  state machine (a small KV store) plus Byzantine replica behaviours;
+* :mod:`~repro.replication.active` -- an active-replication service
+  whose *read quorum* is driven by any
+  :class:`~repro.core.strategy.RedundancyStrategy`: the margin rule
+  samples exactly as many replicas as the observed disagreement demands;
+* :mod:`~repro.replication.primary_backup` -- a crash-failover
+  primary-backup group with update propagation, failover windows, and a
+  backup-count sizing rule derived from the same confidence mathematics.
+"""
+
+from repro.replication.statemachine import (
+    ByzantineReplica,
+    KeyValueStateMachine,
+    Replica,
+)
+from repro.replication.active import ActiveReplicationService, ReadReport
+from repro.replication.primary_backup import (
+    PrimaryBackupGroup,
+    PrimaryBackupReport,
+    backups_for_availability,
+)
+
+__all__ = [
+    "ActiveReplicationService",
+    "ByzantineReplica",
+    "KeyValueStateMachine",
+    "PrimaryBackupGroup",
+    "PrimaryBackupReport",
+    "ReadReport",
+    "Replica",
+    "backups_for_availability",
+]

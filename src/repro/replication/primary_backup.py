@@ -1,0 +1,198 @@
+"""Primary backup with crash failover on the discrete-event engine.
+
+One primary serves all requests and streams each update to ``n``
+backups.  When the primary crashes, a detection timeout elapses, then the
+freshest backup is promoted; updates acknowledged only by the crashed
+primary within the propagation window are lost.  The group replaces
+crashed members after a repair delay, keeping the target backup count.
+
+The sizing question the paper assigns to smart redundancy -- *how many
+backups for a target availability at minimum cost* -- is answered by
+:func:`backups_for_availability`: with per-member availability ``a``
+(derived from crash rate and repair time), the group is up while at least
+one member is up, so ``n`` backups give availability ``1 - (1-a)^(n+1)``;
+pick the smallest ``n`` meeting the target.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.replication.statemachine import Command, KeyValueStateMachine
+from repro.sim.engine import Simulator
+
+
+def backups_for_availability(
+    member_availability: float, target: float
+) -> int:
+    """Minimum backups so the group's availability reaches ``target``.
+
+    Group availability with ``n`` backups = ``1 - (1 - a)^(n + 1)``
+    (the group is down only when every member is down, taking member
+    downtimes as independent).
+    """
+    if not 0.0 < member_availability < 1.0:
+        raise ValueError(
+            f"member availability must lie strictly in (0, 1), got {member_availability}"
+        )
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must lie strictly in (0, 1), got {target}")
+    down = 1.0 - member_availability
+    needed_members = math.log(1.0 - target) / math.log(down)
+    return max(0, math.ceil(needed_members - 1.0 - 1e-12))
+
+
+@dataclass
+class PrimaryBackupReport:
+    """What one primary-backup run experienced."""
+
+    requests: int = 0
+    served: int = 0
+    rejected_during_failover: int = 0
+    failovers: int = 0
+    updates_lost: int = 0
+    downtime: float = 0.0
+    horizon: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        if self.horizon <= 0:
+            return float("nan")
+        return 1.0 - self.downtime / self.horizon
+
+    @property
+    def served_fraction(self) -> float:
+        return self.served / self.requests if self.requests else float("nan")
+
+
+class PrimaryBackupGroup:
+    """A crash-failover primary-backup service driven by the DES.
+
+    Args:
+        sim: The simulator.
+        backups: Number of standby replicas to maintain.
+        crash_rate: Poisson crash rate per member.
+        repair_time: Time to bring a replacement member online.
+        failover_time: Detection + promotion delay after a primary crash.
+        propagation_delay: Update-stream lag; updates newer than this at
+            crash time exist only on the primary and are lost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        backups: int = 2,
+        crash_rate: float = 0.01,
+        repair_time: float = 5.0,
+        failover_time: float = 1.0,
+        propagation_delay: float = 0.1,
+    ) -> None:
+        if backups < 0:
+            raise ValueError(f"backup count must be non-negative, got {backups}")
+        if crash_rate < 0:
+            raise ValueError(f"crash rate must be non-negative, got {crash_rate}")
+        if min(repair_time, failover_time, propagation_delay) < 0:
+            raise ValueError("times must be non-negative")
+        self.sim = sim
+        self.backups_target = backups
+        self.crash_rate = crash_rate
+        self.repair_time = repair_time
+        self.failover_time = failover_time
+        self.propagation_delay = propagation_delay
+        self._rng = sim.rng.stream("primary-backup")
+
+        self.primary: Optional[KeyValueStateMachine] = KeyValueStateMachine()
+        self.standbys: List[KeyValueStateMachine] = [
+            KeyValueStateMachine() for _ in range(backups)
+        ]
+        self._unreplicated: List[Command] = []  # acked, not yet propagated
+        self._down_until: float = 0.0
+        self.report = PrimaryBackupReport()
+        self._schedule_primary_crash()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        return self.primary is not None and self.sim.now >= self._down_until
+
+    def request(self, command: Command) -> Optional[Any]:
+        """Serve a client command, or ``None`` while failing over."""
+        self.report.requests += 1
+        if not self.available:
+            self.report.rejected_during_failover += 1
+            return None
+        result = self.primary.apply(command)
+        self.report.served += 1
+        if command[0] == "set":
+            self._unreplicated.append(command)
+            self.sim.schedule_after(
+                self.propagation_delay,
+                lambda ev, c=command: self._propagate(c),
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Replication machinery
+    # ------------------------------------------------------------------
+
+    def _propagate(self, command: Command) -> None:
+        if command in self._unreplicated:
+            self._unreplicated.remove(command)
+            for standby in self.standbys:
+                standby.apply(command)
+
+    def _schedule_primary_crash(self) -> None:
+        if self.crash_rate <= 0:
+            return
+        delay = self._rng.expovariate(self.crash_rate)
+        self.sim.schedule_after(delay, self._on_primary_crash)
+
+    def _on_primary_crash(self, event) -> None:
+        if self.primary is None:
+            return
+        self.report.failovers += 1
+        self.report.updates_lost += len(self._unreplicated)
+        self._unreplicated.clear()
+        if self.standbys:
+            # Promote the first standby after the failover window.
+            promoted = self.standbys.pop(0)
+            self.primary = promoted
+            start = max(self.sim.now, self._down_until)
+            self._down_until = start + self.failover_time
+            self.report.downtime += self.failover_time
+            # Start repairing a replacement member.
+            self.sim.schedule_after(self.repair_time, self._on_repair)
+            self._schedule_primary_crash()
+        else:
+            # Total loss: service is down until a repair completes.
+            self.primary = None
+            self._repair_started_at = self.sim.now
+            self.sim.schedule_after(self.repair_time, self._on_total_repair)
+
+    def _on_repair(self, event) -> None:
+        if len(self.standbys) < self.backups_target:
+            replacement = KeyValueStateMachine()
+            if self.primary is not None:
+                replacement.restore(self.primary.snapshot())
+            self.standbys.append(replacement)
+
+    def _on_total_repair(self, event) -> None:
+        if self.primary is None:
+            self.primary = KeyValueStateMachine()
+            self.report.downtime += self.sim.now - self._repair_started_at
+            self._down_until = self.sim.now
+            self._schedule_primary_crash()
+            for _ in range(self.backups_target):
+                self.sim.schedule_after(self.repair_time, self._on_repair)
+
+    def finish(self) -> PrimaryBackupReport:
+        """Close the books at the current simulated time."""
+        self.report.horizon = self.sim.now
+        return self.report

@@ -1,0 +1,106 @@
+"""The replicated state machine and replica behaviours.
+
+Active replication's correctness story assumes deterministic state
+machines: identical command sequences yield identical states, so honest
+replicas always agree and any disagreement is a fault.  The
+:class:`KeyValueStateMachine` here is exactly that; replicas wrap one and
+may be honest or Byzantine (returning colluded wrong answers on reads).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Commands are ("set", key, value) or ("get", key).
+Command = Tuple
+
+
+class KeyValueStateMachine:
+    """A deterministic key-value store: the replicated state machine."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Hashable, Any] = {}
+        self.applied = 0
+
+    def apply(self, command: Command) -> Any:
+        """Apply a command and return its result.
+
+        ``("set", key, value)`` stores and returns the value;
+        ``("get", key)`` returns the stored value or ``None``.
+        """
+        if not command:
+            raise ValueError("empty command")
+        op = command[0]
+        if op == "set":
+            _, key, value = command
+            self._data[key] = value
+            self.applied += 1
+            return value
+        if op == "get":
+            _, key = command
+            self.applied += 1
+            return self._data.get(key)
+        raise ValueError(f"unknown command {op!r}")
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        """A copy of the current state (for backup initialisation)."""
+        return dict(self._data)
+
+    def restore(self, snapshot: Dict[Hashable, Any]) -> None:
+        """Replace the state with a snapshot (failover recovery)."""
+        self._data = dict(snapshot)
+
+
+@dataclass
+class Replica:
+    """One honest replica: a state machine plus liveness."""
+
+    replica_id: int
+    machine: KeyValueStateMachine = field(default_factory=KeyValueStateMachine)
+    alive: bool = True
+
+    def execute(self, command: Command, rng: random.Random) -> Optional[Any]:
+        """Execute a command; dead replicas return nothing."""
+        if not self.alive:
+            return None
+        return self.machine.apply(command)
+
+    @property
+    def byzantine(self) -> bool:
+        return False
+
+
+@dataclass
+class ByzantineReplica(Replica):
+    """A replica that lies on reads with probability ``lie_prob``.
+
+    Liars collude: all Byzantine replicas return the *same* wrong value
+    for a given command (derived deterministically from the command), the
+    worst case for voting, matching the paper's threat model.  Writes are
+    applied faithfully so the replica stays plausibly in sync.
+    """
+
+    lie_prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lie_prob <= 1.0:
+            raise ValueError(f"lie probability must lie in [0, 1], got {self.lie_prob}")
+
+    def execute(self, command: Command, rng: random.Random) -> Optional[Any]:
+        if not self.alive:
+            return None
+        honest = self.machine.apply(command)
+        if command[0] == "get" and rng.random() < self.lie_prob:
+            return self.colluded_lie(command)
+        return honest
+
+    @staticmethod
+    def colluded_lie(command: Command) -> Any:
+        """The single wrong answer all liars agree on for this command."""
+        return ("bogus", hash(command) & 0xFFFFFF)
+
+    @property
+    def byzantine(self) -> bool:
+        return True

@@ -1,0 +1,38 @@
+"""The 3-SAT workload used by the paper's BOINC deployment.
+
+The evaluation decomposed 22-variable 3-SAT problems into 140 tasks, each
+testing whether any Boolean assignment in its slice satisfies the formula
+(Section 4.1).  A task's result is binary ("a satisfying assignment exists
+in my range": yes/no), matching assumption 4, and the problem's answer is
+the OR of the task results.
+
+* :mod:`~repro.sat.formula` -- CNF representation and random 3-SAT
+  generation,
+* :mod:`~repro.sat.solver` -- assignment-range checkers (pure-Python
+  reference and a vectorised numpy fast path) plus a DPLL reference
+  solver,
+* :mod:`~repro.sat.decompose` -- slicing a problem into the paper's
+  140 range-tasks and recombining task verdicts.
+"""
+
+from repro.sat.formula import Clause, CnfFormula, random_3sat
+from repro.sat.solver import (
+    check_range,
+    check_range_numpy,
+    dpll_satisfiable,
+    evaluate_assignment,
+)
+from repro.sat.decompose import SatTaskSpec, decompose, recombine
+
+__all__ = [
+    "Clause",
+    "CnfFormula",
+    "SatTaskSpec",
+    "check_range",
+    "check_range_numpy",
+    "decompose",
+    "dpll_satisfiable",
+    "evaluate_assignment",
+    "random_3sat",
+    "recombine",
+]

@@ -1,0 +1,66 @@
+"""Slicing a 3-SAT problem into the paper's range-tasks.
+
+"Each problem was decomposed into 140 tasks" (Section 4.1): the assignment
+space ``[0, 2**n)`` splits into 140 near-equal contiguous slices; the task
+for a slice reports whether it contains a satisfying assignment (binary,
+per assumption 4); the problem's answer is the OR of all task verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+from repro.sat.formula import CnfFormula
+from repro.sat.solver import check_range_numpy
+
+
+@dataclass(frozen=True)
+class SatTaskSpec:
+    """One slice of the assignment space.
+
+    Attributes:
+        task_id: Position within the decomposition.
+        start / stop: Assignment range ``[start, stop)`` this task checks.
+    """
+
+    task_id: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def compute(self, formula: CnfFormula) -> bool:
+        """Actually perform the job's work: exhaustively check the slice."""
+        return check_range_numpy(formula, self.start, self.stop)
+
+
+def decompose(formula: CnfFormula, num_tasks: int = 140) -> List[SatTaskSpec]:
+    """Split the assignment space into ``num_tasks`` contiguous slices.
+
+    Slice sizes differ by at most one; the default 140 matches the paper.
+    If the space has fewer assignments than ``num_tasks``, one task per
+    assignment is produced.
+    """
+    if num_tasks < 1:
+        raise ValueError(f"need at least one task, got {num_tasks}")
+    space = formula.assignment_space
+    num_tasks = min(num_tasks, space)
+    base, extra = divmod(space, num_tasks)
+    specs: List[SatTaskSpec] = []
+    start = 0
+    for task_id in range(num_tasks):
+        size = base + (1 if task_id < extra else 0)
+        specs.append(SatTaskSpec(task_id=task_id, start=start, stop=start + size))
+        start += size
+    assert start == space
+    return specs
+
+
+def recombine(verdicts: Mapping[int, bool]) -> bool:
+    """The problem's answer: satisfiable iff any slice found a witness."""
+    if not verdicts:
+        raise ValueError("no task verdicts to recombine")
+    return any(verdicts.values())

@@ -1,0 +1,112 @@
+"""CNF formulas and random 3-SAT generation.
+
+Variables are numbered 1..n; a literal is a non-zero integer whose sign is
+its polarity (DIMACS convention).  An *assignment* is an integer in
+``[0, 2**n)`` whose bit ``v - 1`` gives variable ``v``'s value -- integers
+make range decomposition (the paper's task slicing) trivial.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: A clause is a tuple of literals (its disjunction).
+Clause = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A propositional formula in conjunctive normal form.
+
+    Attributes:
+        num_vars: Number of variables (numbered 1..num_vars).
+        clauses: The conjunction of disjunctive clauses.
+    """
+
+    num_vars: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 1:
+            raise ValueError(f"need at least one variable, got {self.num_vars}")
+        for clause in self.clauses:
+            if not clause:
+                raise ValueError("empty clause (formula trivially unsatisfiable)")
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.num_vars:
+                    raise ValueError(f"literal {literal} out of range for {self.num_vars} vars")
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def assignment_space(self) -> int:
+        """Total number of assignments, 2**num_vars."""
+        return 1 << self.num_vars
+
+    def literals(self) -> Iterable[int]:
+        for clause in self.clauses:
+            yield from clause
+
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {self.num_clauses}"]
+        lines.extend(" ".join(str(l) for l in clause) + " 0" for clause in self.clauses)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CnfFormula":
+        """Parse DIMACS CNF (comments and the problem line honoured)."""
+        num_vars = 0
+        clauses: List[Clause] = []
+        current: List[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) < 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed problem line: {line!r}")
+                num_vars = int(parts[2])
+                continue
+            for token in line.split():
+                literal = int(token)
+                if literal == 0:
+                    if current:
+                        clauses.append(tuple(current))
+                        current = []
+                else:
+                    current.append(literal)
+        if current:
+            clauses.append(tuple(current))
+        if num_vars == 0:
+            num_vars = max((abs(l) for c in clauses for l in c), default=1)
+        return cls(num_vars=num_vars, clauses=tuple(clauses))
+
+
+def random_3sat(
+    num_vars: int,
+    num_clauses: int,
+    rng: random.Random,
+) -> CnfFormula:
+    """A uniformly random 3-SAT instance.
+
+    Each clause picks three *distinct* variables and random polarities.
+    At the classic ratio ``num_clauses / num_vars ~ 4.27`` instances sit
+    near the satisfiability phase transition; the paper's 22-variable
+    problems are small enough to solve exhaustively either way.
+    """
+    if num_vars < 3:
+        raise ValueError(f"3-SAT needs at least 3 variables, got {num_vars}")
+    if num_clauses < 1:
+        raise ValueError(f"need at least one clause, got {num_clauses}")
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+        clauses.append(clause)
+    return CnfFormula(num_vars=num_vars, clauses=tuple(clauses))

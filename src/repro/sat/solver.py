@@ -1,0 +1,147 @@
+"""Assignment checking: the actual computation a volunteer job performs.
+
+The paper's BOINC tasks "test whether particular Boolean assignments
+satisfy a Boolean formula": each task owns a slice of the assignment space
+and answers whether it contains a satisfying assignment.  Two range
+checkers are provided -- a pure-Python reference and a vectorised numpy
+fast path (bit-parallel across assignments) -- plus a DPLL solver used as
+an independent oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sat.formula import CnfFormula
+
+
+def evaluate_assignment(formula: CnfFormula, assignment: int) -> bool:
+    """True if integer-encoded ``assignment`` satisfies the formula."""
+    if not 0 <= assignment < formula.assignment_space:
+        raise ValueError(
+            f"assignment {assignment} outside [0, 2**{formula.num_vars})"
+        )
+    for clause in formula.clauses:
+        for literal in clause:
+            value = (assignment >> (abs(literal) - 1)) & 1
+            if (literal > 0) == bool(value):
+                break
+        else:
+            return False
+    return True
+
+
+def check_range(formula: CnfFormula, start: int, stop: int) -> bool:
+    """Reference implementation: any satisfying assignment in [start, stop)?
+
+    Pure Python; use :func:`check_range_numpy` for real workloads.
+    """
+    _validate_range(formula, start, stop)
+    return any(evaluate_assignment(formula, a) for a in range(start, stop))
+
+
+def check_range_numpy(
+    formula: CnfFormula, start: int, stop: int, *, chunk: int = 1 << 16
+) -> bool:
+    """Vectorised range check: evaluates all clauses over blocks of
+    assignments at once.
+
+    For each block, a clause is *violated* by exactly the assignments where
+    all three literals are false; a formula is satisfied where no clause is
+    violated.  Memory is bounded by ``chunk`` assignments per block.
+    """
+    _validate_range(formula, start, stop)
+    if chunk < 1:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    for block_start in range(start, stop, chunk):
+        block_stop = min(block_start + chunk, stop)
+        assignments = np.arange(block_start, block_stop, dtype=np.int64)
+        satisfied = np.ones(assignments.shape, dtype=bool)
+        for clause in formula.clauses:
+            clause_true = np.zeros(assignments.shape, dtype=bool)
+            for literal in clause:
+                bits = (assignments >> (abs(literal) - 1)) & 1
+                if literal > 0:
+                    clause_true |= bits.astype(bool)
+                else:
+                    clause_true |= ~bits.astype(bool)
+            satisfied &= clause_true
+            if not satisfied.any():
+                break
+        if satisfied.any():
+            return True
+    return False
+
+
+def _validate_range(formula: CnfFormula, start: int, stop: int) -> None:
+    if not 0 <= start <= stop <= formula.assignment_space:
+        raise ValueError(
+            f"range [{start}, {stop}) outside assignment space "
+            f"[0, {formula.assignment_space})"
+        )
+
+
+def dpll_satisfiable(formula: CnfFormula) -> bool:
+    """DPLL with unit propagation and pure-literal elimination.
+
+    Independent of the enumeration checkers; used as the oracle when
+    testing decomposition and the volunteer substrate end to end.
+    """
+    clauses = [frozenset(clause) for clause in formula.clauses]
+    return _dpll(clauses, {})
+
+
+def _dpll(clauses, assignment: Dict[int, bool]) -> bool:
+    clauses = _simplify(clauses, assignment)
+    if clauses is None:
+        return False
+    if not clauses:
+        return True
+    # Unit propagation.
+    for clause in clauses:
+        if len(clause) == 1:
+            literal = next(iter(clause))
+            new_assignment = dict(assignment)
+            new_assignment[abs(literal)] = literal > 0
+            return _dpll(clauses, new_assignment)
+    # Pure-literal elimination.
+    literals = {l for clause in clauses for l in clause}
+    for literal in literals:
+        if -literal not in literals:
+            new_assignment = dict(assignment)
+            new_assignment[abs(literal)] = literal > 0
+            return _dpll(clauses, new_assignment)
+    # Branch on the first unassigned variable of the shortest clause.
+    shortest = min(clauses, key=len)
+    variable = abs(next(iter(shortest)))
+    for value in (True, False):
+        new_assignment = dict(assignment)
+        new_assignment[variable] = value
+        if _dpll(clauses, new_assignment):
+            return True
+    return False
+
+
+def _simplify(clauses, assignment: Dict[int, bool]):
+    """Apply an assignment: drop satisfied clauses, shrink others.
+    Returns ``None`` on an empty (falsified) clause."""
+    result = []
+    for clause in clauses:
+        satisfied = False
+        remaining = []
+        for literal in clause:
+            variable = abs(literal)
+            if variable in assignment:
+                if (literal > 0) == assignment[variable]:
+                    satisfied = True
+                    break
+            else:
+                remaining.append(literal)
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        result.append(frozenset(remaining))
+    return result

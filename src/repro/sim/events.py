@@ -1,0 +1,132 @@
+"""Event records and the stable event queue underlying the simulator.
+
+Events are ordered by simulated time, then by priority, then by insertion
+sequence number.  The sequence number makes ordering *stable*: two events
+scheduled for the same instant fire in the order they were scheduled, which
+keeps simulations deterministic for a fixed seed regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+#: Default priority for scheduled events.  Lower values fire first among
+#: events scheduled for the same simulated time.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled occurrence in the simulation.
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Tie-break among events at the same time (lower first).
+        seq: Insertion sequence number; makes ordering total and stable.
+        callback: Callable invoked when the event fires.  It receives the
+            event itself, so payloads can be carried via :attr:`payload`.
+        payload: Arbitrary user data attached to the event.
+        cancelled: True once :meth:`cancel` has been called; cancelled
+            events are skipped (and discarded) by the queue.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[["Event"], None]
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue will skip it.
+
+        Cancellation is O(1); the event stays in the heap until popped and
+        is then dropped.  Cancelling an already-cancelled event is a no-op.
+        """
+        self.cancelled = True
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6g} prio={self.priority} seq={self.seq}{state}>"
+
+
+class EventQueue:
+    """A stable priority queue of :class:`Event` objects.
+
+    Wraps :mod:`heapq` with lazy deletion for cancelled events and a
+    monotone sequence counter for stable ordering.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter: Iterator[int] = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` if it is still pending."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

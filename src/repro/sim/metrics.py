@@ -1,0 +1,210 @@
+"""Statistics collectors for simulation runs.
+
+Section 4.1 of the paper lists the measures each run records: simulated
+time to complete the computation, total jobs generated, average and maximum
+jobs per task, tasks with a correct result, and average and maximum response
+time per task.  These collectors provide the arithmetic for those measures
+without importing numpy (the simulator stays dependency-light; analysis code
+may convert to arrays afterwards).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically adjustable integer counter."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Tally:
+    """Streaming mean/variance/min/max over observed samples (Welford)."""
+
+    def __init__(self, name: str = "tally") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN until two samples exist)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else math.nan
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return math.nan
+        return self.stdev / math.sqrt(self.count)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else math.nan
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        if self.count < 2:
+            return (math.nan, math.nan)
+        half = z * self.stderr
+        return (self._mean - half, self._mean + half)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tally({self.name}: n={self.count}, mean={self.mean:.6g})"
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Used for, e.g., average node-pool utilisation: call :meth:`update`
+    whenever the level changes, then read :meth:`average` at the end.
+    """
+
+    def __init__(self, name: str = "level", *, time: float = 0.0, level: float = 0.0) -> None:
+        self.name = name
+        self._last_time = time
+        self._level = level
+        self._area = 0.0
+        self._start = time
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def update(self, time: float, level: float) -> None:
+        if time < self._last_time:
+            raise ValueError(
+                f"time went backwards in {self.name}: {time} < {self._last_time}"
+            )
+        self._area += self._level * (time - self._last_time)
+        self._last_time = time
+        self._level = level
+
+    def average(self, until: Optional[float] = None) -> float:
+        end = self._last_time if until is None else until
+        if end < self._last_time:
+            raise ValueError("cannot average before the last update")
+        area = self._area + self._level * (end - self._last_time)
+        span = end - self._start
+        return area / span if span > 0 else math.nan
+
+
+class Histogram:
+    """Fixed-bin histogram over a closed interval, with overflow bins."""
+
+    def __init__(
+        self,
+        name: str,
+        low: float,
+        high: float,
+        bins: int,
+    ) -> None:
+        if high <= low:
+            raise ValueError("high must exceed low")
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        self.name = name
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self._width = (high - low) / bins
+
+    def observe(self, value: float) -> None:
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            index = int((value - self.low) / self._width)
+            # Floating point can push a boundary value to `bins`.
+            self.counts[min(index, self.bins - 1)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def bin_edges(self) -> List[float]:
+        return [self.low + i * self._width for i in range(self.bins + 1)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}: n={self.total})"
+
+
+@dataclass
+class MetricSet:
+    """A named bag of collectors, created lazily on first use."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    tallies: Dict[str, Tally] = field(default_factory=dict)
+    levels: Dict[str, TimeWeightedStat] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def tally(self, name: str) -> Tally:
+        if name not in self.tallies:
+            self.tallies[name] = Tally(name)
+        return self.tallies[name]
+
+    def level(self, name: str, *, time: float = 0.0) -> TimeWeightedStat:
+        if name not in self.levels:
+            self.levels[name] = TimeWeightedStat(name, time=time)
+        return self.levels[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten to a name->value dict for reports and tests."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[f"count.{name}"] = counter.value
+        for name, tally in self.tallies.items():
+            out[f"mean.{name}"] = tally.mean
+            out[f"max.{name}"] = tally.maximum
+        return out

@@ -1,0 +1,168 @@
+"""Generator-based cooperative processes on top of the simulator.
+
+A process is a Python generator that yields *commands*; the scheduler runs
+the generator until it yields, performs the command, and resumes the
+generator when the command completes.  Two commands are supported:
+
+* :class:`Timeout` -- sleep for a simulated duration,
+* :class:`Waiting` -- park until another process calls
+  :meth:`Waiting.trigger`, optionally carrying a value.
+
+This is a deliberately small process layer (the DCA and volunteer models
+mostly use plain event callbacks), but processes make long-lived behaviours
+such as node churn and client work loops read top-to-bottom::
+
+    def client_loop(sim, node):
+        while node.alive:
+            yield Timeout(node.poll_interval)
+            job = server.request_work(node)
+            if job is not None:
+                yield Timeout(job.duration)
+                server.report(node, job)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class Timeout:
+    """Yield from a process to sleep for ``delay`` simulated time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class Waiting:
+    """Yield from a process to park until :meth:`trigger` is called.
+
+    The value passed to :meth:`trigger` becomes the result of the ``yield``
+    expression in the waiting process.
+    """
+
+    def __init__(self) -> None:
+        self._process: Optional["Process"] = None
+        self._triggered = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def trigger(self, value: Any = None) -> None:
+        """Wake the waiting process (idempotent after the first call)."""
+        if self._triggered:
+            return
+        self._triggered = True
+        self._value = value
+        if self._process is not None:
+            process = self._process
+            self._process = None
+            process._resume_soon(value)
+
+    def _attach(self, process: "Process") -> None:
+        if self._triggered:
+            process._resume_soon(self._value)
+        else:
+            self._process = process
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """Drives a generator as a cooperative simulated process.
+
+    Attributes:
+        alive: True until the generator returns, raises, or is interrupted.
+        result: The generator's return value once finished.
+    """
+
+    def __init__(self, sim: Simulator, body: ProcessBody, *, name: str = "process") -> None:
+        self.sim = sim
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._body = body
+        self._pending_event: Optional[Event] = None
+        self._done_callbacks: list[Callable[["Process"], None]] = []
+        # Start on the next event-loop turn at the current time so the
+        # constructor returns before the body runs.
+        self._resume_soon(None)
+
+    def on_done(self, callback: Callable[["Process"], None]) -> None:
+        """Register ``callback`` to run when the process finishes."""
+        if not self.alive:
+            callback(self)
+        else:
+            self._done_callbacks.append(callback)
+
+    def interrupt(self) -> None:
+        """Stop the process; its pending sleep or wait is cancelled."""
+        if not self.alive:
+            return
+        if self._pending_event is not None:
+            self.sim.cancel(self._pending_event)
+            self._pending_event = None
+        self._finish(close=True)
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _resume_soon(self, value: Any) -> None:
+        self._pending_event = self.sim.schedule_after(
+            0.0, lambda ev: self._resume(value)
+        )
+
+    def _resume(self, value: Any) -> None:
+        self._pending_event = None
+        if not self.alive:
+            return
+        try:
+            command = self._body.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self._finish()
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            self.error = exc
+            self._finish()
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Timeout):
+            self._pending_event = self.sim.schedule_after(
+                command.delay, lambda ev: self._resume(None)
+            )
+        elif isinstance(command, Waiting):
+            command._attach(self)
+        else:
+            self.interrupt()
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, *, close: bool = False) -> None:
+        self.alive = False
+        if close:
+            self._body.close()
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,57 @@
+"""Named, independently seeded random-number streams.
+
+Simulations that share a single RNG between subsystems are fragile: adding
+one extra draw in the churn model shifts every subsequent node-selection
+draw and the whole run changes.  The registry hands each named subsystem its
+own :class:`random.Random`, derived deterministically from the root seed and
+the stream name, so streams are decoupled and runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Optional
+
+
+class RngRegistry:
+    """A factory of deterministic, per-name random streams.
+
+    Example:
+        >>> reg = RngRegistry(7)
+        >>> reg.stream("durations") is reg.stream("durations")
+        True
+        >>> a = RngRegistry(7).stream("x").random()
+        >>> b = RngRegistry(7).stream("x").random()
+        >>> a == b
+        True
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        if seed is None:
+            seed = random.SystemRandom().getrandbits(64)
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(self._derive(name))
+            self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Create a child registry whose root seed derives from ``name``.
+
+        Useful for giving each replication of an experiment its own,
+        decorrelated family of streams.
+        """
+        return RngRegistry(self._derive(f"spawn:{name}"))
+
+    def _derive(self, name: str) -> int:
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

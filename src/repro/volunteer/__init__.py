@@ -1,0 +1,45 @@
+"""A BOINC-like volunteer-computing substrate (the deployment platform).
+
+The paper's second evaluation ran BOINC on a 200-node PlanetLab slice,
+solving 22-variable 3-SAT problems decomposed into 140 tasks, with the
+job-assignment and result-validation procedures modified to employ the
+three redundancy techniques.  Neither BOINC-on-PlanetLab nor PlanetLab
+itself is reproducible on a laptop, so this package builds the same
+architecture synthetically (see DESIGN.md, substitution table):
+
+* **pull model** -- clients poll the server for work
+  (:class:`~repro.volunteer.client.VolunteerClient`), unlike the push
+  model of :mod:`repro.dca`;
+* **work-unit server** with BOINC's one-result-per-node rule and
+  deadline-driven re-issue (:class:`~repro.volunteer.server.VolunteerServer`);
+* **strategy-driven validation**: the same
+  :class:`~repro.core.strategy.RedundancyStrategy` objects decide
+  replication, exactly where BOINC's validator/transitioner would;
+* **PlanetLab-like testbed** (:mod:`~repro.volunteer.planetlab`):
+  heterogeneous speeds, seeded 30% faults, plus *natural* fault and
+  unresponsiveness processes that push the effective node reliability
+  into the paper's observed 0.64-0.67 band without the algorithms knowing
+  it;
+* **homogeneous redundancy** (:mod:`~repro.volunteer.homogeneous`) for
+  numerically fuzzy, platform-dependent results (Section 5.3).
+"""
+
+from repro.volunteer.client import VolunteerClient, VolunteerNodeProfile
+from repro.volunteer.deployment import VolunteerConfig, VolunteerReport, run_volunteer
+from repro.volunteer.homogeneous import FuzzyMatcher, platform_value
+from repro.volunteer.planetlab import PlanetLabTestbed
+from repro.volunteer.server import JobAssignment, VolunteerServer, WorkUnit
+
+__all__ = [
+    "FuzzyMatcher",
+    "JobAssignment",
+    "PlanetLabTestbed",
+    "VolunteerClient",
+    "VolunteerConfig",
+    "VolunteerNodeProfile",
+    "VolunteerReport",
+    "VolunteerServer",
+    "WorkUnit",
+    "platform_value",
+    "run_volunteer",
+]

@@ -1,0 +1,76 @@
+"""Homogeneous redundancy: comparing numerically fuzzy results.
+
+Section 5.3: "two non-identical results may actually represent the same
+information (e.g., evaluations of sqrt(2) may return slight differences in
+the least significant bits) ... BOINC uses homogeneous redundancy, an
+approach that sorts nodes into equivalence classes that report identical
+answers."
+
+Two mechanisms are provided:
+
+* :func:`platform_value` -- the *problem*: perturbs a numeric result with
+  a deterministic, platform-specific epsilon, so two honest nodes on
+  different platforms disagree bitwise;
+* :class:`FuzzyMatcher` -- the *fix* on the comparison side: canonicalise
+  values into tolerance buckets before voting, so numerically equal
+  results count as the same vote.
+
+The ablation experiment (``repro.experiments.ablations``) shows exact
+comparison across platforms destroying the vote, and either fix (fuzzy
+matching, or scheduling each task within one platform class) restoring it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Union
+
+from repro.core.types import ResultValue
+from repro.volunteer.client import VolunteerNodeProfile
+
+#: Scale of the platform-specific numeric noise.
+PLATFORM_EPSILON = 1e-9
+
+
+def platform_value(value: ResultValue, profile: VolunteerNodeProfile) -> ResultValue:
+    """Inject platform-dependent least-significant-bit noise.
+
+    Only floats are perturbed; discrete results (the binary model) pass
+    through untouched.  The perturbation is a deterministic function of
+    the platform, so all nodes of one platform still agree bitwise --
+    exactly the structure homogeneous redundancy exploits.
+    """
+    if isinstance(value, float):
+        return value + (profile.platform + 1) * PLATFORM_EPSILON * (1.0 + abs(value))
+    return value
+
+
+class FuzzyMatcher:
+    """Canonicalises numeric results into tolerance buckets.
+
+    Values within ``tolerance`` of each other land in the same bucket
+    (up to bucket-boundary effects, which a tolerance well above the
+    platform epsilon makes negligible).  Non-floats pass through.
+
+    Use as the server's ``value_matcher``::
+
+        server = VolunteerServer(sim, strategy, value_matcher=FuzzyMatcher(1e-6))
+    """
+
+    def __init__(self, tolerance: float) -> None:
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.tolerance = tolerance
+
+    def __call__(self, value: ResultValue) -> ResultValue:
+        if isinstance(value, float):
+            if math.isnan(value):
+                return ("nan",)
+            return round(value / self.tolerance)
+        return value
+
+
+def same_platform_only(profile_a: VolunteerNodeProfile, profile_b: VolunteerNodeProfile) -> bool:
+    """Scheduling-side homogeneous redundancy: replicas of one task may be
+    compared only when they ran on the same platform class."""
+    return profile_a.platform == profile_b.platform

@@ -1,0 +1,135 @@
+"""Tests for the BOINC-style adaptive-replication comparator."""
+
+import random
+
+import pytest
+
+from repro.core.adaptive import AdaptiveReplication
+from repro.core.runner import bernoulli_source, run_task
+from repro.core.types import JobOutcome, TaskVerdict, VoteState
+
+
+def finish(strategy, task_id, value):
+    strategy.task_finished(
+        task_id, TaskVerdict(value=value, correct=None, jobs_used=1, waves=1)
+    )
+
+
+class TestTrustLifecycle:
+    def test_nodes_start_untrusted(self):
+        strategy = AdaptiveReplication()
+        assert not strategy.is_trusted(1)
+        assert not strategy.is_trusted(None)
+
+    def test_trust_earned_after_streak(self):
+        strategy = AdaptiveReplication(trust_after=3, audit_rate=0.0)
+        for task_id in range(3):
+            strategy.record_outcome(task_id, JobOutcome(value=True, node_id=1))
+            strategy.record_outcome(task_id, JobOutcome(value=True, node_id=2))
+            finish(strategy, task_id, True)
+        assert strategy.is_trusted(1)
+
+    def test_invalid_result_resets_streak(self):
+        strategy = AdaptiveReplication(trust_after=2, audit_rate=0.0)
+        strategy.record_outcome(0, JobOutcome(value=True, node_id=1))
+        finish(strategy, 0, True)
+        strategy.record_outcome(1, JobOutcome(value=False, node_id=1))
+        finish(strategy, 1, True)  # node 1 disagreed with the verdict
+        assert strategy.trust_record(1).streak == 0
+        assert strategy.trust_record(1).invalidated == 1
+
+
+class TestDecisions:
+    def test_untrusted_node_triggers_replication(self):
+        strategy = AdaptiveReplication(quorum=2, audit_rate=0.0)
+        vote = VoteState()
+        outcome = JobOutcome(value=True, node_id=1)
+        strategy.record_outcome(0, outcome)
+        vote.record(outcome)
+        decision = strategy.decide(vote)
+        assert not decision.done
+        assert decision.more_jobs == 1  # needs a second matching result
+
+    def test_trusted_node_single_result_accepted(self):
+        strategy = AdaptiveReplication(trust_after=1, audit_rate=0.0)
+        # Earn trust on task 0.
+        strategy.record_outcome(0, JobOutcome(value=True, node_id=1))
+        finish(strategy, 0, True)
+        assert strategy.is_trusted(1)
+        # Task 1: single result from the now-trusted node.
+        vote = VoteState()
+        outcome = JobOutcome(value=True, node_id=1)
+        strategy.record_outcome(1, outcome)
+        vote.record(outcome)
+        decision = strategy.decide(vote)
+        assert decision.done
+        assert decision.accepted is True
+
+    def test_audit_forces_replication_even_when_trusted(self):
+        strategy = AdaptiveReplication(trust_after=1, audit_rate=1.0)
+        strategy.record_outcome(0, JobOutcome(value=True, node_id=1))
+        finish(strategy, 0, True)
+        vote = VoteState()
+        outcome = JobOutcome(value=True, node_id=1)
+        strategy.record_outcome(1, outcome)
+        vote.record(outcome)
+        decision = strategy.decide(vote)
+        assert not decision.done
+
+    def test_quorum_acceptance(self):
+        strategy = AdaptiveReplication(quorum=2, audit_rate=0.0)
+        vote = VoteState()
+        for node in (1, 2):
+            outcome = JobOutcome(value="x", node_id=node)
+            strategy.record_outcome(0, outcome)
+            vote.record(outcome)
+        decision = strategy.decide(vote)
+        assert decision.done
+        assert decision.accepted == "x"
+
+    def test_disagreement_extends_quorum_hunt(self):
+        strategy = AdaptiveReplication(quorum=2, audit_rate=0.0)
+        vote = VoteState()
+        for node, value in ((1, "x"), (2, "y")):
+            outcome = JobOutcome(value=value, node_id=node)
+            strategy.record_outcome(0, outcome)
+            vote.record(outcome)
+        decision = strategy.decide(vote)
+        assert not decision.done
+        assert decision.more_jobs == 1
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveReplication(quorum=1)
+        with pytest.raises(ValueError):
+            AdaptiveReplication(trust_after=0)
+        with pytest.raises(ValueError):
+            AdaptiveReplication(audit_rate=1.5)
+
+
+class TestEndToEnd:
+    def test_malicious_node_can_exploit_earned_trust(self):
+        """The paper's critique: a node can earn trust honestly and then
+        defect; its wrong results are then accepted without replication."""
+        strategy = AdaptiveReplication(trust_after=2, audit_rate=0.0)
+        # Earn trust honestly.
+        for task_id in range(2):
+            strategy.record_outcome(task_id, JobOutcome(value=True, node_id=66))
+            finish(strategy, task_id, True)
+        assert strategy.is_trusted(66)
+        # Defect: single wrong answer sails through.
+        vote = VoteState()
+        outcome = JobOutcome(value=False, node_id=66)
+        strategy.record_outcome(9, outcome)
+        vote.record(outcome)
+        decision = strategy.decide(vote)
+        assert decision.done
+        assert decision.accepted is False  # the wrong answer was accepted
+
+    def test_run_task_integration(self):
+        rng = random.Random(4)
+        strategy = AdaptiveReplication(audit_rate=0.0, rng=random.Random(0))
+        verdict = run_task(strategy, bernoulli_source(rng, 0.8), true_value=True, task_id=0)
+        assert verdict.jobs_used >= 1

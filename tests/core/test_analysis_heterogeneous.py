@@ -1,0 +1,107 @@
+"""Tests for the Section 5.3 heterogeneous-reliability generalisations and
+the iterative job-count tail quantiles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ProgressiveRedundancy, analysis
+from repro.core.runner import run_task
+from repro.core.types import JobOutcome
+
+
+class TestProgressiveHeterogeneous:
+    def test_reduces_to_homogeneous(self):
+        for k in (3, 7, 13):
+            assert analysis.progressive_cost_heterogeneous([0.7] * k) == pytest.approx(
+                analysis.progressive_cost(0.7, k), rel=1e-9
+            )
+
+    def test_perfect_early_jobs_minimise_cost(self):
+        """If the first (k+1)/2 jobs are near-perfect, consensus lands in
+        the first wave and cost approaches the consensus size."""
+        k = 9
+        reliabilities = [0.999999] * 5 + [0.7] * 4
+        cost = analysis.progressive_cost_heterogeneous(reliabilities)
+        assert cost == pytest.approx(5.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analysis.progressive_cost_heterogeneous([0.7, 0.7])  # even k
+        with pytest.raises(ValueError):
+            analysis.progressive_cost_heterogeneous([0.7, 1.5, 0.7])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=0.9), min_size=3, max_size=11))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bounds(self, rs):
+        if len(rs) % 2 == 0:
+            rs = rs + [0.5]
+        k = len(rs)
+        cost = analysis.progressive_cost_heterogeneous(rs)
+        assert (k + 1) / 2 - 1e-9 <= cost <= k + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.3, max_value=0.95), min_size=5, max_size=9),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_monte_carlo(self, rs, seed):
+        """DP result matches direct simulation of the heterogeneous draw
+        sequence."""
+        if len(rs) % 2 == 0:
+            rs = rs + [0.6]
+        k = len(rs)
+        rng = random.Random(seed)
+        total = 0
+        runs = 3_000
+        for _ in range(runs):
+            strategy = ProgressiveRedundancy(k)
+            draws = iter(rs)
+
+            def source(index, draws=draws):
+                r = next(draws)
+                return JobOutcome(value=rng.random() < r)
+
+            verdict = run_task(strategy, source, true_value=True)
+            total += verdict.jobs_used
+        assert total / runs == pytest.approx(
+            analysis.progressive_cost_heterogeneous(rs), rel=0.08
+        )
+
+
+class TestIterativeJobQuantile:
+    def test_median_below_mean_for_skewed_distribution(self):
+        """IR's job-count distribution is right-skewed: the median sits at
+        or below the mean."""
+        median = analysis.iterative_job_quantile(0.7, 4, 0.5)
+        assert median <= analysis.iterative_cost(0.7, 4) + 1
+
+    def test_quantiles_monotone(self):
+        qs = [analysis.iterative_job_quantile(0.7, 4, q) for q in (0.5, 0.9, 0.99, 0.999)]
+        assert qs == sorted(qs)
+        assert qs[-1] > qs[0]
+
+    def test_minimum_is_d(self):
+        assert analysis.iterative_job_quantile(0.95, 3, 0.1) == 3
+
+    def test_parity(self):
+        """All quantiles share d's parity (totals are d + 2b)."""
+        for q in (0.3, 0.6, 0.9):
+            value = analysis.iterative_job_quantile(0.7, 5, q)
+            assert (value - 5) % 2 == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analysis.iterative_job_quantile(0.7, 4, 0.0)
+        with pytest.raises(ValueError):
+            analysis.iterative_job_quantile(0.7, 4, 1.0)
+
+    def test_matches_empirical_distribution(self):
+        from repro.core import IterativeRedundancy
+        from repro.core.runner import monte_carlo
+
+        estimate = monte_carlo(lambda: IterativeRedundancy(3), 0.7, 20_000, seed=3)
+        q50 = analysis.iterative_job_quantile(0.7, 3, 0.5)
+        # Mean lies between the median and the 99th percentile.
+        assert q50 <= estimate.cost_factor <= analysis.iterative_job_quantile(0.7, 3, 0.99)

@@ -1,0 +1,99 @@
+"""Tests for node-reliability distributions (Section 5.3 relaxations)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distributions import (
+    BetaReliability,
+    DiscreteReliability,
+    FixedReliability,
+    TwoClassReliability,
+)
+
+
+class TestFixed:
+    def test_sample_is_constant(self):
+        dist = FixedReliability(0.7)
+        rng = random.Random(0)
+        assert all(dist.sample(rng) == 0.7 for _ in range(10))
+        assert dist.mean() == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedReliability(1.5)
+
+    def test_sample_pool_size(self):
+        assert len(FixedReliability(0.5).sample_pool(10, random.Random(0))) == 10
+        with pytest.raises(ValueError):
+            FixedReliability(0.5).sample_pool(0, random.Random(0))
+
+
+class TestBeta:
+    def test_with_mean_hits_mean(self):
+        dist = BetaReliability.with_mean(0.7, concentration=20.0)
+        assert dist.mean() == pytest.approx(0.7)
+
+    def test_empirical_mean_close(self):
+        dist = BetaReliability.with_mean(0.7)
+        rng = random.Random(1)
+        samples = dist.sample_pool(20_000, rng)
+        assert sum(samples) / len(samples) == pytest.approx(0.7, abs=0.01)
+
+    def test_samples_in_unit_interval(self):
+        dist = BetaReliability(2.0, 5.0)
+        rng = random.Random(2)
+        assert all(0.0 <= dist.sample(rng) <= 1.0 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BetaReliability(0.0, 1.0)
+        with pytest.raises(ValueError):
+            BetaReliability.with_mean(1.0)
+        with pytest.raises(ValueError):
+            BetaReliability.with_mean(0.5, concentration=0.0)
+
+
+class TestTwoClass:
+    def test_mean_formula(self):
+        dist = TwoClassReliability(good_r=0.9, faulty_r=0.1, faulty_fraction=0.25)
+        assert dist.mean() == pytest.approx(0.75 * 0.9 + 0.25 * 0.1)
+
+    def test_all_faulty(self):
+        dist = TwoClassReliability(good_r=0.9, faulty_r=0.2, faulty_fraction=1.0)
+        rng = random.Random(0)
+        assert all(dist.sample(rng) == 0.2 for _ in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoClassReliability(good_r=1.2, faulty_r=0.1, faulty_fraction=0.5)
+        with pytest.raises(ValueError):
+            TwoClassReliability(good_r=0.9, faulty_r=0.1, faulty_fraction=-0.1)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=50)
+    def test_property_mean_within_class_range(self, good, faulty, fraction):
+        dist = TwoClassReliability(good_r=good, faulty_r=faulty, faulty_fraction=fraction)
+        lo, hi = min(good, faulty), max(good, faulty)
+        assert lo - 1e-12 <= dist.mean() <= hi + 1e-12
+
+
+class TestDiscrete:
+    def test_mean(self):
+        dist = DiscreteReliability(levels=[0.5, 1.0], weights=[1.0, 1.0])
+        assert dist.mean() == pytest.approx(0.75)
+
+    def test_single_level(self):
+        dist = DiscreteReliability(levels=[0.6], weights=[2.0])
+        assert dist.sample(random.Random(0)) == 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteReliability(levels=[], weights=[])
+        with pytest.raises(ValueError):
+            DiscreteReliability(levels=[0.5], weights=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            DiscreteReliability(levels=[1.5], weights=[1.0])
+        with pytest.raises(ValueError):
+            DiscreteReliability(levels=[0.5], weights=[-1.0])

@@ -1,0 +1,85 @@
+"""End-to-end verification of Theorem 1's consequence: the complex,
+r-aware iterative-redundancy algorithm dispatches *identically* to the
+simple margin algorithm in every situation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ComplexIterativeRedundancy, IterativeRedundancy
+from repro.core.runner import bernoulli_source, run_task
+from repro.core.types import VoteState
+
+
+def replay_decisions(strategy, script):
+    """Run a strategy over a scripted result stream, returning the wave
+    sizes it requested and the accepted value."""
+    vote = VoteState()
+    waves = [strategy.initial_jobs()]
+    index = 0
+    while True:
+        pending = waves[-1]
+        vote.dispatched(pending)
+        for _ in range(pending):
+            vote.record_value(script[index % len(script)])
+            index += 1
+        decision = strategy.decide(vote)
+        if decision.done:
+            return waves, decision.accepted
+        waves.append(decision.more_jobs)
+        if len(waves) > 500:
+            raise AssertionError("strategy failed to terminate")
+
+
+class TestComplexSimpleEquivalence:
+    @pytest.mark.parametrize("r", [0.6, 0.7, 0.85, 0.95])
+    @pytest.mark.parametrize("target", [0.9, 0.97, 0.999])
+    def test_same_waves_on_random_streams(self, r, target):
+        complex_strategy = ComplexIterativeRedundancy(r, target)
+        simple_strategy = IterativeRedundancy(complex_strategy.equivalent_margin)
+        rng = random.Random(hash((r, target)) & 0xFFFF)
+        for _ in range(50):
+            script = [rng.random() < r for _ in range(400)]
+            waves_c, value_c = replay_decisions(complex_strategy, script)
+            waves_s, value_s = replay_decisions(simple_strategy, script)
+            assert waves_c == waves_s
+            assert value_c == value_s
+
+    def test_initial_jobs_match(self):
+        for r, target in [(0.7, 0.97), (0.6, 0.9), (0.9, 0.999)]:
+            complex_strategy = ComplexIterativeRedundancy(r, target)
+            simple_strategy = IterativeRedundancy(complex_strategy.equivalent_margin)
+            assert complex_strategy.initial_jobs() == simple_strategy.initial_jobs()
+
+    @given(
+        st.floats(min_value=0.55, max_value=0.95),
+        st.floats(min_value=0.6, max_value=0.995),
+        st.integers(0, 20),
+        st.integers(0, 20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_pointwise_decision_equivalence(self, r, target, a, b):
+        """For any vote state, both algorithms make the same decision."""
+        complex_strategy = ComplexIterativeRedundancy(r, target)
+        simple_strategy = IterativeRedundancy(complex_strategy.equivalent_margin)
+        vote = VoteState.from_counts({True: a, False: b})
+        decision_c = complex_strategy.decide(vote)
+        decision_s = simple_strategy.decide(vote)
+        assert decision_c.done == decision_s.done
+        if decision_c.done:
+            assert decision_c.accepted == decision_s.accepted
+        else:
+            assert decision_c.more_jobs == decision_s.more_jobs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComplexIterativeRedundancy(0.4, 0.9)  # r <= 0.5
+        with pytest.raises(ValueError):
+            ComplexIterativeRedundancy(0.7, 0.4)  # target <= 0.5
+
+    def test_run_task_end_to_end(self):
+        rng = random.Random(17)
+        complex_strategy = ComplexIterativeRedundancy(0.7, 0.97)
+        verdict = run_task(complex_strategy, bernoulli_source(rng, 0.7), true_value=True)
+        assert verdict.jobs_used >= complex_strategy.initial_jobs()

@@ -1,0 +1,128 @@
+"""Tests for reliability estimation from vote observations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IterativeRedundancy, analysis
+from repro.core.estimation import (
+    DegradationAlarm,
+    degradation_monitor,
+    estimate_from_job_counts,
+    estimate_from_votes,
+)
+from repro.core.runner import bernoulli_source, run_task
+
+
+def observed_job_counts(r, d, tasks, seed):
+    rng = random.Random(seed)
+    strategy = IterativeRedundancy(d)
+    return [
+        run_task(strategy, bernoulli_source(rng, r)).jobs_used for _ in range(tasks)
+    ]
+
+
+class TestEstimateFromJobCounts:
+    @pytest.mark.parametrize("r", [0.65, 0.7, 0.8, 0.9])
+    def test_recovers_true_r(self, r):
+        counts = observed_job_counts(r, 4, 4_000, seed=hash(r) & 0xFFFF)
+        estimate = estimate_from_job_counts(counts, 4)
+        assert estimate == pytest.approx(r, abs=0.02)
+
+    def test_perfect_pool_estimates_one(self):
+        counts = [4] * 100  # every task unanimous on the first wave
+        assert estimate_from_job_counts(counts, 4) == pytest.approx(1.0, abs=1e-3)
+
+    def test_coin_flip_pool_estimates_half(self):
+        counts = [16] * 100  # mean d^2 = worst case
+        assert estimate_from_job_counts(counts, 4) == pytest.approx(0.5, abs=1e-3)
+
+    def test_rejects_impossible_counts(self):
+        with pytest.raises(ValueError):
+            estimate_from_job_counts([3], 4)  # below d
+        with pytest.raises(ValueError):
+            estimate_from_job_counts([5], 4)  # wrong parity
+        with pytest.raises(ValueError):
+            estimate_from_job_counts([], 4)
+        with pytest.raises(ValueError):
+            estimate_from_job_counts([4], 0)
+
+    @given(st.integers(2, 6), st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_monotone_in_mean(self, d, b_small, extra):
+        """Cheaper samples imply more reliable pools, always in [0.5, 1]."""
+        cheap = [d + 2 * b_small] * 10
+        dear = [d + 2 * (b_small + extra + 1)] * 10
+        cheap_estimate = estimate_from_job_counts(cheap, d)
+        dear_estimate = estimate_from_job_counts(dear, d)
+        assert 0.5 <= dear_estimate <= cheap_estimate <= 1.0
+
+
+class TestEstimateFromVotes:
+    def test_naive_fraction_without_d(self):
+        assert estimate_from_votes(70, 30) == pytest.approx(0.7)
+
+    def test_correction_raises_naive_estimate(self):
+        """Some 'agreeing' votes backed wrong winners, so the corrected r
+        exceeds the raw agreement fraction slightly... actually the raw
+        fraction underestimates r because lost votes pollute agreement."""
+        naive = estimate_from_votes(70, 30)
+        corrected = estimate_from_votes(70, 30, d=3)
+        assert corrected >= naive
+
+    def test_empirical_recovery(self):
+        r, d = 0.75, 4
+        rng = random.Random(9)
+        strategy = IterativeRedundancy(d)
+        winner = loser = 0
+        for _ in range(2_000):
+            outcomes = []
+            source = bernoulli_source(rng, r)
+
+            def recording(index):
+                outcome = source(index)
+                outcomes.append(outcome)
+                return outcome
+
+            verdict = run_task(strategy, recording)
+            for outcome in outcomes:
+                if outcome.value == verdict.value:
+                    winner += 1
+                else:
+                    loser += 1
+        estimate = estimate_from_votes(winner, loser, d=d)
+        assert estimate == pytest.approx(r, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_from_votes(-1, 5)
+        with pytest.raises(ValueError):
+            estimate_from_votes(0, 0)
+        with pytest.raises(ValueError):
+            estimate_from_votes(5, 5, d=0)
+
+
+class TestDegradationMonitor:
+    def test_healthy_stream_quiet(self):
+        counts = observed_job_counts(0.85, 3, 600, seed=1)
+        assert degradation_monitor(counts, 3, window=200, floor=0.7) == []
+
+    def test_degraded_stream_alarms(self):
+        healthy = observed_job_counts(0.85, 3, 300, seed=2)
+        degraded = observed_job_counts(0.58, 3, 300, seed=3)
+        alarms = degradation_monitor(healthy + degraded, 3, window=150, floor=0.7)
+        assert alarms
+        # Alarms come from the degraded tail.
+        assert all(alarm.task_index >= 300 for alarm in alarms)
+        assert all(alarm.estimated_r < 0.7 for alarm in alarms)
+
+    def test_window_must_fill(self):
+        counts = observed_job_counts(0.55, 3, 50, seed=4)
+        assert degradation_monitor(counts, 3, window=100, floor=0.7) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            degradation_monitor([3, 3], 3, window=1)
+        with pytest.raises(ValueError):
+            degradation_monitor([3, 3], 3, floor=0.4)

@@ -1,0 +1,223 @@
+"""Unit tests for the three paper strategies against scripted result
+streams, mirroring the walk-throughs in Section 3."""
+
+import pytest
+
+from repro.core import (
+    IterativeRedundancy,
+    NoRedundancy,
+    ProgressiveRedundancy,
+    TraditionalRedundancy,
+)
+from repro.core.runner import run_task, scripted_source
+from repro.core.types import Decision, VoteState
+
+A, B = True, False  # the two values of the binary Byzantine model
+
+
+class TestTraditional:
+    def test_k_must_be_odd_positive(self):
+        for bad in (0, -3, 2, 4):
+            with pytest.raises(ValueError):
+                TraditionalRedundancy(bad)
+
+    def test_initial_wave_is_k(self):
+        assert TraditionalRedundancy(19).initial_jobs() == 19
+
+    def test_accepts_majority_after_single_wave(self):
+        verdict = run_task(
+            TraditionalRedundancy(5), scripted_source([A, B, A, B, A]), true_value=A
+        )
+        assert verdict.value is A
+        assert verdict.correct
+        assert verdict.jobs_used == 5
+        assert verdict.waves == 1
+
+    def test_majority_of_wrong_answers_fails(self):
+        verdict = run_task(
+            TraditionalRedundancy(3), scripted_source([B, B, A]), true_value=A
+        )
+        assert verdict.value is B
+        assert not verdict.correct
+
+    def test_cost_is_always_k(self):
+        for script in ([A, A, A], [B, B, B], [A, B, A]):
+            verdict = run_task(TraditionalRedundancy(3), scripted_source(script))
+            assert verdict.jobs_used == 3
+
+    def test_silent_failures_are_replaced(self):
+        # Two timeouts: the server re-issues to keep k counted responses.
+        verdict = run_task(
+            TraditionalRedundancy(3), scripted_source([A, None, None, A, B])
+        )
+        assert verdict.value is A
+        assert verdict.jobs_used == 5
+        assert verdict.waves == 2
+
+    def test_max_total_jobs(self):
+        assert TraditionalRedundancy(7).max_total_jobs() == 7
+
+
+class TestNoRedundancy:
+    def test_single_job(self):
+        verdict = run_task(NoRedundancy(), scripted_source([B]), true_value=A)
+        assert verdict.jobs_used == 1
+        assert not verdict.correct
+
+    def test_retries_on_silence(self):
+        verdict = run_task(NoRedundancy(), scripted_source([None, A]))
+        assert verdict.value is A
+        assert verdict.jobs_used == 2
+
+
+class TestProgressive:
+    def test_initial_wave_is_consensus_size(self):
+        assert ProgressiveRedundancy(19).initial_jobs() == 10
+        assert ProgressiveRedundancy(3).initial_jobs() == 2
+
+    def test_unanimous_first_wave_finishes_early(self):
+        # k=5: consensus 3; three agreeing jobs decide at cost 3, not 5.
+        verdict = run_task(ProgressiveRedundancy(5), scripted_source([A, A, A]))
+        assert verdict.value is A
+        assert verdict.jobs_used == 3
+        assert verdict.waves == 1
+
+    def test_split_wave_tops_up_by_deficit(self):
+        # k=5, consensus 3: wave 1 = [A, B, A] -> a=2, deficit 1.
+        verdict = run_task(ProgressiveRedundancy(5), scripted_source([A, B, A, A]))
+        assert verdict.value is A
+        assert verdict.jobs_used == 4
+        assert verdict.waves == 2
+
+    def test_worst_case_uses_exactly_k_responses(self):
+        # k=5: A B A B B -> a=2,b=3 after... trace: wave1 [A,B,A]: a=2,b=1;
+        # wave2 [B]: 2-2; wave3 [B]: b=3 -> accept B with 5 jobs.
+        verdict = run_task(
+            ProgressiveRedundancy(5), scripted_source([A, B, A, B, B]), true_value=A
+        )
+        assert verdict.value is B
+        assert verdict.jobs_used == 5
+        assert verdict.waves == 3
+
+    def test_decide_accepts_at_consensus(self):
+        strategy = ProgressiveRedundancy(5)
+        vote = VoteState.from_counts({A: 3, B: 2})
+        decision = strategy.decide(vote)
+        assert decision.done and decision.accepted is A
+
+    def test_decide_dispatches_leader_deficit(self):
+        strategy = ProgressiveRedundancy(9)  # consensus 5
+        vote = VoteState.from_counts({A: 3, B: 2})
+        assert strategy.decide(vote).more_jobs == 2
+
+    def test_all_silent_first_wave_redispatches_fully(self):
+        strategy = ProgressiveRedundancy(5)
+        vote = VoteState()
+        vote.record_value(None)
+        vote.record_value(None)
+        vote.record_value(None)
+        assert strategy.decide(vote).more_jobs == 3
+
+    def test_wave_bound(self):
+        assert ProgressiveRedundancy(19).max_waves() == 10
+
+
+class TestIterative:
+    def test_d_must_be_positive(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                IterativeRedundancy(bad)
+
+    def test_initial_wave_is_d(self):
+        assert IterativeRedundancy(4).initial_jobs() == 4
+
+    def test_unanimous_first_wave_accepts(self):
+        verdict = run_task(IterativeRedundancy(4), scripted_source([A] * 4))
+        assert verdict.value is A
+        assert verdict.jobs_used == 4
+        assert verdict.waves == 1
+
+    def test_paper_walkthrough_6_margin(self):
+        """Paper: seeking 6 unanimous results but getting 4-2 leads to 4
+        additional jobs toward an 8-to-2 majority."""
+        strategy = IterativeRedundancy(6)
+        vote = VoteState.from_counts({A: 4, B: 2})
+        decision = strategy.decide(vote)
+        assert decision.more_jobs == 4
+
+    def test_three_one_split_dispatches_two(self):
+        """Paper example: three agreeing plus one disagreeing result means
+        at least two more agreeing jobs are needed (margin 4)."""
+        strategy = IterativeRedundancy(4)
+        vote = VoteState.from_counts({A: 3, B: 1})
+        assert strategy.decide(vote).more_jobs == 2
+
+    def test_terminates_with_exact_margin(self):
+        # d=2: A B B A A A -> margins 0, -1... trace: wave1 [A,B]: 1-1;
+        # wave2 [B,A]: 2-2; wave3 [A,A]: 4-2 margin 2 -> accept.
+        verdict = run_task(
+            IterativeRedundancy(2), scripted_source([A, B, B, A, A, A])
+        )
+        assert verdict.value is A
+        assert verdict.jobs_used == 6
+        assert verdict.waves == 3
+
+    def test_wrong_value_can_win(self):
+        verdict = run_task(
+            IterativeRedundancy(2), scripted_source([B, B]), true_value=A
+        )
+        assert verdict.value is B
+        assert not verdict.correct
+
+    def test_minority_swap_matches_pseudocode(self):
+        # Figure 4 swaps a and b so a is always the leader.
+        strategy = IterativeRedundancy(3)
+        vote = VoteState.from_counts({A: 1, B: 2})
+        decision = strategy.decide(vote)
+        assert not decision.done
+        assert decision.more_jobs == 2  # d - (b - a) = 3 - 1
+
+    def test_unbounded(self):
+        assert IterativeRedundancy(5).max_total_jobs() is None
+
+    def test_for_target_uses_required_margin(self):
+        strategy = IterativeRedundancy.for_target(0.7, 0.967)
+        assert strategy.d == 4
+
+    def test_all_silent_redispatches(self):
+        strategy = IterativeRedundancy(3)
+        vote = VoteState()
+        for _ in range(3):
+            vote.record_value(None)
+        assert strategy.decide(vote).more_jobs == 3
+
+
+class TestMarginParity:
+    """Accepted margin equals d exactly (never overshoots): each wave tops
+    the potential margin up to d, so acceptance can only land on d."""
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_margin_at_acceptance_is_exactly_d(self, d):
+        import random
+
+        from repro.core.runner import bernoulli_source
+        from repro.core.strategy import RedundancyStrategy
+        from repro.core.types import VoteState
+
+        rng = random.Random(d)
+        for _ in range(200):
+            strategy = IterativeRedundancy(d)
+            vote = VoteState()
+            source = bernoulli_source(rng, 0.6)
+            index = 0
+            pending = strategy.initial_jobs()
+            while True:
+                vote.dispatched(pending)
+                for _ in range(pending):
+                    vote.record(source(index))
+                    index += 1
+                decision = strategy.decide(vote)
+                if decision.done:
+                    assert vote.margin == d
+                    break
+                pending = decision.more_jobs

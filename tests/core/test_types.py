@@ -1,0 +1,111 @@
+"""Unit tests for VoteState, Decision, and JobOutcome."""
+
+import pytest
+
+from repro.core.types import Decision, JobOutcome, TaskVerdict, VoteState
+
+
+class TestVoteState:
+    def test_empty_state(self):
+        vote = VoteState()
+        assert vote.leader is None
+        assert vote.leader_count == 0
+        assert vote.runner_up_count == 0
+        assert vote.margin == 0
+        assert vote.responses == 0
+
+    def test_record_counts_values(self):
+        vote = VoteState()
+        for value in ["x", "x", "y"]:
+            vote.record_value(value)
+        assert vote.leader == "x"
+        assert vote.leader_count == 2
+        assert vote.runner_up_count == 1
+        assert vote.margin == 1
+        assert vote.responses == 3
+
+    def test_no_response_tracked_separately(self):
+        vote = VoteState()
+        vote.record_value(None)
+        vote.record_value("x")
+        assert vote.no_response == 1
+        assert vote.responses == 1
+        assert vote.total_completed == 2
+
+    def test_outstanding_decrements_on_record(self):
+        vote = VoteState()
+        vote.dispatched(3)
+        assert vote.outstanding == 3
+        vote.record_value("x")
+        assert vote.outstanding == 2
+
+    def test_dispatch_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VoteState().dispatched(-1)
+
+    def test_ranked_is_deterministic_on_ties(self):
+        vote = VoteState.from_counts({"b": 2, "a": 2})
+        assert vote.ranked() == (("a", 2), ("b", 2))
+        assert vote.margin == 0
+
+    def test_three_values_margin_uses_runner_up(self):
+        vote = VoteState.from_counts({"x": 5, "y": 3, "z": 1})
+        assert vote.leader == "x"
+        assert vote.runner_up_count == 3
+        assert vote.margin == 2
+
+    def test_binary_constructor(self):
+        vote = VoteState.binary(4, 2)
+        assert vote.leader is True
+        assert vote.leader_count == 4
+        assert vote.runner_up_count == 2
+
+    def test_binary_zero_counts_omitted(self):
+        vote = VoteState.binary(3, 0)
+        assert vote.counts == {True: 3}
+
+    def test_copy_is_independent(self):
+        vote = VoteState.binary(1, 0)
+        clone = vote.copy()
+        clone.record_value(False)
+        assert vote.responses == 1
+        assert clone.responses == 2
+
+
+class TestDecision:
+    def test_dispatch(self):
+        d = Decision.dispatch(3)
+        assert d.more_jobs == 3
+        assert not d.done
+
+    def test_accept(self):
+        d = Decision.accept("value")
+        assert d.done
+        assert d.accepted == "value"
+        assert d.more_jobs == 0
+
+    def test_dispatch_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Decision.dispatch(0)
+
+    def test_cannot_accept_and_dispatch(self):
+        with pytest.raises(ValueError):
+            Decision(more_jobs=2, accepted="x", done=True)
+
+
+class TestJobOutcome:
+    def test_responded_flag(self):
+        assert JobOutcome(value="x").responded
+        assert not JobOutcome(value=None).responded
+
+    def test_frozen(self):
+        outcome = JobOutcome(value="x", node_id=3)
+        with pytest.raises(AttributeError):
+            outcome.value = "y"
+
+
+class TestTaskVerdict:
+    def test_fields(self):
+        verdict = TaskVerdict(value=True, correct=True, jobs_used=4, waves=1)
+        assert verdict.jobs_used == 4
+        assert verdict.response_time is None

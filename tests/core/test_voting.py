@@ -1,0 +1,84 @@
+"""Unit tests for vote-tallying helpers."""
+
+import pytest
+
+from repro.core.types import JobOutcome, VoteState
+from repro.core.voting import (
+    consensus_reached,
+    majority_value,
+    plurality_value,
+    tally_results,
+    unanimous_value,
+)
+
+
+class TestTallyResults:
+    def test_folds_outcomes(self):
+        state = tally_results(
+            [JobOutcome("a"), JobOutcome("a"), JobOutcome("b"), JobOutcome(None)]
+        )
+        assert state.counts == {"a": 2, "b": 1}
+        assert state.no_response == 1
+
+
+class TestMajority:
+    def test_reaches_majority(self):
+        vote = VoteState.from_counts({"x": 2, "y": 1})
+        assert majority_value(vote, 3) == "x"
+        assert consensus_reached(vote, 3)
+
+    def test_below_majority_is_none(self):
+        vote = VoteState.from_counts({"x": 1, "y": 1})
+        assert majority_value(vote, 3) is None
+        assert not consensus_reached(vote, 3)
+
+    def test_majority_threshold_is_half_of_k_not_responses(self):
+        # 5 votes for x out of 9 planned: majority of k=9 is 5.
+        vote = VoteState.from_counts({"x": 5, "y": 4})
+        assert majority_value(vote, 9) == "x"
+        assert majority_value(vote, 11) is None
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            majority_value(VoteState(), 0)
+
+    def test_empty_vote_no_majority(self):
+        assert majority_value(VoteState(), 3) is None
+
+
+class TestPlurality:
+    def test_requires_strict_lead(self):
+        tied = VoteState.from_counts({"x": 2, "y": 2})
+        assert plurality_value(tied) is None
+        ahead = VoteState.from_counts({"x": 3, "y": 2})
+        assert plurality_value(ahead) == "x"
+
+    def test_min_lead_parameter(self):
+        vote = VoteState.from_counts({"x": 4, "y": 2})
+        assert plurality_value(vote, min_lead=2) == "x"
+        assert plurality_value(vote, min_lead=3) is None
+
+    def test_min_lead_validation(self):
+        with pytest.raises(ValueError):
+            plurality_value(VoteState(), min_lead=0)
+
+    def test_empty_vote(self):
+        assert plurality_value(VoteState()) is None
+
+    def test_plurality_without_majority(self):
+        """Section 5.3: with non-colluding failures the correct answer can
+        lead by plurality even when it lacks a majority."""
+        vote = VoteState.from_counts({4: 3, 17: 1, 23: 1, 99: 1})
+        assert plurality_value(vote, min_lead=2) == 4
+        assert majority_value(vote, 7) is None
+
+
+class TestUnanimous:
+    def test_unanimous(self):
+        assert unanimous_value(VoteState.from_counts({"x": 4})) == "x"
+
+    def test_not_unanimous(self):
+        assert unanimous_value(VoteState.from_counts({"x": 4, "y": 1})) is None
+
+    def test_empty(self):
+        assert unanimous_value(VoteState()) is None

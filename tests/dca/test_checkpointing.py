@@ -1,0 +1,165 @@
+"""Tests for the checkpointing analysis and simulator."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dca.checkpointing import (
+    CheckpointPolicy,
+    expected_completion_time,
+    expected_segment_time,
+    optimal_interval,
+    simulate_job,
+)
+
+
+class TestPolicy:
+    def test_disabled_by_default(self):
+        assert not CheckpointPolicy().enabled
+
+    def test_enabled_with_interval(self):
+        assert CheckpointPolicy(interval=5.0).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(interval=0.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(checkpoint_cost=-1.0)
+
+
+class TestExpectedSegmentTime:
+    def test_no_crashes_is_work(self):
+        assert expected_segment_time(10.0, 0.0) == 10.0
+
+    def test_crashes_inflate_time(self):
+        assert expected_segment_time(10.0, 0.1) > 10.0
+
+    def test_closed_form(self):
+        # (1/lambda + R)(e^{lambda w} - 1)
+        lam, w, restart = 0.2, 5.0, 1.0
+        expected = (1 / lam + restart) * (math.exp(lam * w) - 1)
+        assert expected_segment_time(w, lam, restart_cost=restart) == pytest.approx(expected)
+
+    def test_small_rate_limit(self):
+        assert expected_segment_time(10.0, 1e-9) == pytest.approx(10.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_segment_time(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_segment_time(1.0, -0.1)
+
+
+class TestExpectedCompletionTime:
+    def test_no_checkpoints_equals_single_segment(self):
+        policy = CheckpointPolicy(restart_cost=0.5)
+        assert expected_completion_time(10.0, 0.2, policy) == pytest.approx(
+            expected_segment_time(10.0, 0.2, restart_cost=0.5)
+        )
+
+    def test_checkpointing_helps_long_jobs(self):
+        """The Section 6 claim: checkpoints pay off when subcomputations
+        are long relative to the crash rate."""
+        crash_rate = 0.1
+        work = 50.0
+        none = expected_completion_time(work, crash_rate, CheckpointPolicy())
+        checked = expected_completion_time(
+            work, crash_rate, CheckpointPolicy(interval=5.0, checkpoint_cost=0.2)
+        )
+        assert checked < none / 2
+
+    def test_checkpointing_hurts_short_jobs(self):
+        """Pure overhead when crashes are rare and the job is short."""
+        none = expected_completion_time(1.0, 0.001, CheckpointPolicy())
+        checked = expected_completion_time(
+            1.0, 0.001, CheckpointPolicy(interval=0.2, checkpoint_cost=0.5)
+        )
+        assert checked > none
+
+    def test_exact_multiple_skips_last_checkpoint(self):
+        policy = CheckpointPolicy(interval=5.0, checkpoint_cost=1.0)
+        even = expected_completion_time(10.0, 0.0, policy)
+        # 2 segments, only 1 checkpoint written: 10 + 1.
+        assert even == pytest.approx(11.0)
+
+    def test_zero_work(self):
+        assert expected_completion_time(0.0, 0.1, CheckpointPolicy(interval=1.0)) == 0.0
+
+
+class TestOptimalInterval:
+    def test_youngs_formula(self):
+        assert optimal_interval(0.01, 0.5) == pytest.approx(math.sqrt(2 * 0.5 / 0.01))
+
+    def test_near_optimality(self):
+        """Young's interval is within a few percent of a grid-search
+        optimum of the exact expectation."""
+        crash_rate, cost, work = 0.05, 0.3, 100.0
+        tau_star = optimal_interval(crash_rate, cost)
+        best = min(
+            expected_completion_time(
+                work, crash_rate, CheckpointPolicy(interval=tau, checkpoint_cost=cost)
+            )
+            for tau in [tau_star * f for f in (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0)]
+        )
+        at_star = expected_completion_time(
+            work, crash_rate, CheckpointPolicy(interval=tau_star, checkpoint_cost=cost)
+        )
+        assert at_star <= best * 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_interval(0.0, 0.5)
+        with pytest.raises(ValueError):
+            optimal_interval(0.1, 0.0)
+
+
+class TestSimulateJob:
+    def test_no_crashes_exact(self):
+        policy = CheckpointPolicy(interval=3.0, checkpoint_cost=0.5)
+        stats = simulate_job(9.0, 0.0, policy, random.Random(0))
+        # 3 segments, 2 checkpoints: 9 + 2 * 0.5.
+        assert stats.wall_clock == pytest.approx(10.0)
+        assert stats.crashes == 0
+        assert stats.checkpoints_written == 2
+
+    def test_crashes_recorded(self):
+        stats = simulate_job(20.0, 0.5, CheckpointPolicy(interval=2.0), random.Random(1))
+        assert stats.crashes > 0
+        assert stats.work_lost > 0
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            CheckpointPolicy(),
+            CheckpointPolicy(interval=5.0, checkpoint_cost=0.2, restart_cost=0.5),
+            CheckpointPolicy(interval=2.0, checkpoint_cost=0.1),
+        ],
+    )
+    def test_monte_carlo_matches_expectation(self, policy):
+        crash_rate, work = 0.08, 20.0
+        rng = random.Random(7)
+        runs = 4_000
+        mean = (
+            sum(simulate_job(work, crash_rate, policy, rng).wall_clock for _ in range(runs))
+            / runs
+        )
+        assert mean == pytest.approx(
+            expected_completion_time(work, crash_rate, policy), rel=0.06
+        )
+
+    @given(
+        st.floats(min_value=0.5, max_value=30.0),
+        st.floats(min_value=0.0, max_value=0.3),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_wall_clock_at_least_work(self, work, crash_rate, seed):
+        policy = CheckpointPolicy(interval=2.0, checkpoint_cost=0.1)
+        stats = simulate_job(work, crash_rate, policy, random.Random(seed))
+        assert stats.wall_clock >= work - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_job(-1.0, 0.1, CheckpointPolicy(), random.Random(0))

@@ -1,0 +1,93 @@
+"""Unit tests for the churn process in isolation."""
+
+import pytest
+
+from repro.core.distributions import FixedReliability
+from repro.dca.churn import ChurnProcess
+from repro.dca.pool import NodePool
+from repro.sim.engine import Simulator
+
+
+def build(arrival=0.0, departure=0.0, initial=5, **kwargs):
+    sim = Simulator(seed=8)
+    pool = NodePool()
+    churn = ChurnProcess(
+        sim,
+        pool,
+        FixedReliability(0.7),
+        arrival_rate=arrival,
+        departure_rate=departure,
+        **kwargs,
+    )
+    for _ in range(initial):
+        pool.join(churn.make_node())
+    pool.joins = 0
+    return sim, pool, churn
+
+
+class TestArrivals:
+    def test_arrivals_grow_pool(self):
+        sim, pool, churn = build(arrival=1.0)
+        churn.start()
+        sim.run(until=50.0)
+        assert pool.joins > 20  # ~50 expected
+        assert len(pool) == 5 + pool.joins
+
+    def test_arrival_rate_statistics(self):
+        sim, pool, churn = build(arrival=2.0)
+        churn.start()
+        sim.run(until=100.0)
+        assert pool.joins == pytest.approx(200, abs=60)
+
+    def test_on_join_hook_fires(self):
+        joined = []
+        sim, pool, churn = build(arrival=1.0)
+        churn.on_join = lambda node: joined.append(node.node_id)
+        churn.start()
+        sim.run(until=10.0)
+        assert len(joined) == pool.joins
+
+
+class TestDepartures:
+    def test_departures_shrink_pool(self):
+        sim, pool, churn = build(departure=1.0, initial=50)
+        churn.start()
+        sim.run(until=20.0)
+        assert pool.departures > 5
+        assert len(pool) == 50 - pool.departures
+
+    def test_last_node_never_leaves(self):
+        sim, pool, churn = build(departure=10.0, initial=2)
+        churn.start()
+        sim.run(until=100.0)
+        assert len(pool) >= 1
+
+    def test_stop_halts_churn(self):
+        sim, pool, churn = build(arrival=5.0)
+        churn.start()
+        sim.run(until=5.0)
+        joins_so_far = pool.joins
+        churn.stop()
+        sim.run(until=50.0)
+        assert pool.joins == joins_so_far
+
+
+class TestNodeFactory:
+    def test_speed_spread(self):
+        sim, pool, churn = build(speed_spread=0.4)
+        speeds = [churn.make_node().speed_factor for _ in range(200)]
+        assert all(0.6 <= s <= 1.4 for s in speeds)
+        assert max(speeds) - min(speeds) > 0.3
+
+    def test_homogeneous_by_default(self):
+        sim, pool, churn = build()
+        assert churn.make_node().speed_factor == 1.0
+
+    def test_unresponsive_prob_propagates(self):
+        sim, pool, churn = build(unresponsive_prob=0.1)
+        assert churn.make_node().unresponsive_prob == 0.1
+
+    def test_negative_rates_rejected(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            ChurnProcess(sim, NodePool(), FixedReliability(0.5), arrival_rate=-1.0)

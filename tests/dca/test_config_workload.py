@@ -1,0 +1,81 @@
+"""Tests for DcaConfig validation and the workload generator."""
+
+import pytest
+
+from repro.core import IterativeRedundancy
+from repro.core.distributions import BetaReliability, FixedReliability
+from repro.dca.config import DcaConfig
+from repro.dca.workload import Task, Workload
+
+
+def config(**overrides):
+    defaults = dict(strategy=IterativeRedundancy(3), tasks=10, nodes=5)
+    defaults.update(overrides)
+    return DcaConfig(**defaults)
+
+
+class TestDcaConfig:
+    def test_defaults_match_paper_setup(self):
+        c = config()
+        assert c.duration_low == 0.5
+        assert c.duration_high == 1.5
+        assert c.reliability == 0.7
+
+    def test_float_reliability_becomes_fixed_distribution(self):
+        c = config(reliability=0.8)
+        dist = c.reliability_distribution
+        assert isinstance(dist, FixedReliability)
+        assert dist.mean() == 0.8
+
+    def test_distribution_passes_through(self):
+        dist = BetaReliability.with_mean(0.7)
+        assert config(reliability=dist).reliability_distribution is dist
+
+    def test_effective_timeout_default(self):
+        c = config()
+        assert c.effective_timeout == pytest.approx(10.0 * 1.5)
+
+    def test_effective_timeout_respects_speed_spread(self):
+        c = config(speed_spread=0.5)
+        assert c.effective_timeout == pytest.approx(10.0 * 1.5 * 1.5)
+
+    def test_explicit_timeout_wins(self):
+        assert config(timeout=99.0).effective_timeout == 99.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(tasks=0),
+            dict(nodes=0),
+            dict(duration_low=0.0),
+            dict(duration_low=2.0, duration_high=1.0),
+            dict(unresponsive_prob=1.0),
+            dict(speed_spread=1.0),
+            dict(arrival_rate=-1.0),
+            dict(spot_check_rate=-0.1),
+            dict(deadline_factor=1.0),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            config(**bad)
+
+
+class TestWorkload:
+    def test_generates_requested_count(self):
+        tasks = list(Workload(7).tasks())
+        assert len(tasks) == 7
+        assert [t.task_id for t in tasks] == list(range(7))
+
+    def test_binary_values(self):
+        task = next(Workload(1).tasks())
+        assert task.true_value is True
+        assert task.wrong_value is False
+
+    def test_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            Workload(0)
+
+    def test_task_values_must_differ(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, true_value="x", wrong_value="x")

@@ -1,0 +1,170 @@
+"""Tests for the failure models."""
+
+import random
+
+import pytest
+
+from repro.dca.failures import (
+    ByzantineCollusion,
+    CorrelatedFailures,
+    NonColludingFailures,
+    SpotCheckEvading,
+    UnresponsiveWrapper,
+)
+from repro.dca.node import Node
+from repro.dca.workload import Task
+
+
+def node(reliability=0.7, unresponsive=0.0, node_id=0):
+    return Node(node_id=node_id, reliability=reliability, unresponsive_prob=unresponsive)
+
+
+TASK = Task(task_id=1)
+
+
+class TestByzantineCollusion:
+    def test_reliable_node_reports_truth(self):
+        model = ByzantineCollusion()
+        assert model.report(TASK, node(reliability=1.0), random.Random(0)) is True
+
+    def test_failed_jobs_collude_on_single_wrong_value(self):
+        model = ByzantineCollusion()
+        rng = random.Random(0)
+        values = {
+            model.report(TASK, node(reliability=0.0), rng) for _ in range(50)
+        }
+        assert values == {TASK.wrong_value}
+
+    def test_failure_rate_matches_reliability(self):
+        model = ByzantineCollusion()
+        rng = random.Random(1)
+        worker = node(reliability=0.7)
+        correct = sum(
+            1 for _ in range(20_000) if model.report(TASK, worker, rng) is True
+        )
+        assert correct / 20_000 == pytest.approx(0.7, abs=0.02)
+
+    def test_unresponsive_node_goes_silent(self):
+        model = ByzantineCollusion()
+        rng = random.Random(2)
+        worker = node(reliability=1.0, unresponsive=1.0)
+        assert model.report(TASK, worker, rng) is None
+
+
+class TestNonColludingFailures:
+    def test_wrong_values_are_diverse(self):
+        """Section 5.3: non-colluding failures rarely agree."""
+        model = NonColludingFailures(value_space=10**9)
+        rng = random.Random(3)
+        wrongs = [
+            model.report(TASK, node(reliability=0.0), rng) for _ in range(100)
+        ]
+        assert len(set(wrongs)) == len(wrongs)
+        assert all(w != TASK.true_value for w in wrongs)
+
+    def test_correct_results_still_agree(self):
+        model = NonColludingFailures()
+        rng = random.Random(4)
+        assert model.report(TASK, node(reliability=1.0), rng) is True
+
+    def test_value_space_validation(self):
+        with pytest.raises(ValueError):
+            NonColludingFailures(value_space=1)
+
+
+class TestUnresponsiveWrapper:
+    def test_silence_probability(self):
+        model = UnresponsiveWrapper(ByzantineCollusion(), silent_prob=0.3)
+        rng = random.Random(5)
+        silent = sum(
+            1
+            for _ in range(10_000)
+            if model.report(TASK, node(reliability=1.0), rng) is None
+        )
+        assert silent / 10_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_zero_silence_passthrough(self):
+        model = UnresponsiveWrapper(ByzantineCollusion(), silent_prob=0.0)
+        assert model.report(TASK, node(reliability=1.0), random.Random(0)) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnresponsiveWrapper(ByzantineCollusion(), silent_prob=1.0)
+
+
+class TestSpotCheckEvading:
+    def test_malicious_node_passes_spot_checks(self):
+        """Spot-check jobs (task id -1) get the correct answer even from a
+        node that is always wrong on real work."""
+        model = SpotCheckEvading(ByzantineCollusion())
+        rng = random.Random(10)
+        bad_node = node(reliability=0.0)
+        spot_check = Task(task_id=-1)
+        assert model.report(spot_check, bad_node, rng) is True
+        assert model.report(TASK, bad_node, rng) == TASK.wrong_value
+
+    def test_partial_evasion(self):
+        model = SpotCheckEvading(ByzantineCollusion(), evasion=0.5)
+        rng = random.Random(11)
+        bad_node = node(reliability=0.0)
+        spot_check = Task(task_id=-1)
+        passes = sum(
+            1 for _ in range(2000) if model.report(spot_check, bad_node, rng) is True
+        )
+        assert 850 < passes < 1150
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpotCheckEvading(ByzantineCollusion(), evasion=1.5)
+
+
+class TestCorrelatedFailures:
+    def test_same_cluster_same_task_fails_together(self):
+        clusters = {i: 0 for i in range(10)}
+        model = CorrelatedFailures(clusters, cluster_fault_prob=0.5)
+        rng = random.Random(6)
+        # Find a task where cluster 0 is faulted, then check every node
+        # in the cluster fails identically.
+        for task_id in range(100):
+            task = Task(task_id=task_id)
+            first = model.report(task, node(reliability=1.0, node_id=0), rng)
+            if first == task.wrong_value:
+                for node_id in range(1, 10):
+                    value = model.report(
+                        task, node(reliability=1.0, node_id=node_id), rng
+                    )
+                    assert value == task.wrong_value
+                return
+        pytest.fail("no faulted cluster event observed in 100 tasks")
+
+    def test_unfaulted_cluster_uses_base_model(self):
+        clusters = {0: 0}
+        model = CorrelatedFailures(clusters, cluster_fault_prob=0.0)
+        rng = random.Random(7)
+        assert model.report(TASK, node(reliability=1.0), rng) is True
+
+    def test_different_clusters_independent(self):
+        clusters = {0: 0, 1: 1}
+        model = CorrelatedFailures(clusters, cluster_fault_prob=0.5)
+        rng = random.Random(8)
+        outcomes = set()
+        for task_id in range(200):
+            task = Task(task_id=task_id)
+            a = model.report(task, node(reliability=1.0, node_id=0), rng)
+            b = model.report(task, node(reliability=1.0, node_id=1), rng)
+            outcomes.add((a == task.wrong_value, b == task.wrong_value))
+        # All four combinations appear: clusters fail independently.
+        assert len(outcomes) == 4
+
+    def test_prune_drops_memoised_events(self):
+        clusters = {0: 0}
+        model = CorrelatedFailures(clusters, cluster_fault_prob=0.5)
+        rng = random.Random(9)
+        model.report(TASK, node(reliability=1.0), rng)
+        assert model._events
+        model.prune(TASK.task_id)
+        assert not model._events
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedFailures({}, cluster_fault_prob=1.0)

@@ -1,0 +1,40 @@
+"""Unit tests for worker nodes."""
+
+import pytest
+
+from repro.dca.node import Node
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node(node_id=1, reliability=0.7)
+        assert node.alive
+        assert not node.busy
+        assert node.available
+
+    def test_busy_node_not_available(self):
+        node = Node(node_id=1, reliability=0.7)
+        node.busy = True
+        assert not node.available
+
+    def test_dead_node_not_available(self):
+        node = Node(node_id=1, reliability=0.7)
+        node.alive = False
+        assert not node.available
+
+    def test_job_duration_scales_with_speed(self):
+        slow = Node(node_id=1, reliability=0.7, speed_factor=2.0)
+        assert slow.job_duration(1.0) == pytest.approx(2.0)
+
+    def test_job_duration_rejects_negative(self):
+        node = Node(node_id=1, reliability=0.7)
+        with pytest.raises(ValueError):
+            node.job_duration(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Node(node_id=1, reliability=1.5)
+        with pytest.raises(ValueError):
+            Node(node_id=1, reliability=0.5, speed_factor=0.0)
+        with pytest.raises(ValueError):
+            Node(node_id=1, reliability=0.5, unresponsive_prob=-0.1)

@@ -1,0 +1,148 @@
+"""Unit and property tests for the node pool."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dca.node import Node
+from repro.dca.pool import NodePool
+
+
+def make_pool(n):
+    pool = NodePool()
+    for _ in range(n):
+        pool.join(Node(node_id=pool.allocate_id(), reliability=0.7))
+    return pool
+
+
+class TestMembership:
+    def test_join_and_len(self):
+        pool = make_pool(5)
+        assert len(pool) == 5
+        assert pool.available_count == 5
+
+    def test_duplicate_join_rejected(self):
+        pool = NodePool()
+        node = Node(node_id=0, reliability=0.7)
+        pool.join(node)
+        with pytest.raises(ValueError):
+            pool.join(node)
+
+    def test_leave_removes_and_kills(self):
+        pool = make_pool(3)
+        node = pool.get(1)
+        left = pool.leave(1)
+        assert left is node
+        assert not node.alive
+        assert len(pool) == 2
+        assert pool.available_count == 2
+        assert pool.get(1) is None
+
+    def test_leave_unknown_returns_none(self):
+        assert make_pool(1).leave(99) is None
+
+    def test_allocate_id_monotone(self):
+        pool = NodePool()
+        ids = [pool.allocate_id() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_churn_counters(self):
+        pool = make_pool(2)
+        pool.leave(0)
+        assert pool.joins == 2
+        assert pool.departures == 1
+
+
+class TestAcquisition:
+    def test_acquire_marks_busy(self):
+        pool = make_pool(3)
+        rng = random.Random(0)
+        node = pool.acquire_random(rng)
+        assert node.busy
+        assert pool.available_count == 2
+
+    def test_acquire_exhausts_pool(self):
+        pool = make_pool(2)
+        rng = random.Random(0)
+        assert pool.acquire_random(rng) is not None
+        assert pool.acquire_random(rng) is not None
+        assert pool.acquire_random(rng) is None
+
+    def test_release_returns_to_available(self):
+        pool = make_pool(1)
+        rng = random.Random(0)
+        node = pool.acquire_random(rng)
+        pool.release(node)
+        assert pool.available_count == 1
+        assert pool.acquire_random(rng) is node
+
+    def test_release_of_departed_node_not_reavailable(self):
+        pool = make_pool(2)
+        rng = random.Random(0)
+        node = pool.acquire_random(rng)
+        pool.leave(node.node_id)
+        pool.release(node)
+        assert pool.available_count == 1
+        # The departed node must never be handed out again.
+        remaining = pool.acquire_random(rng)
+        assert remaining is not node
+
+    def test_busy_node_not_removed_from_pool_count_on_leave(self):
+        pool = make_pool(2)
+        rng = random.Random(0)
+        node = pool.acquire_random(rng)
+        pool.leave(node.node_id)
+        assert len(pool) == 1
+
+    def test_selection_is_roughly_uniform(self):
+        pool = make_pool(10)
+        rng = random.Random(42)
+        counts = {}
+        for _ in range(10_000):
+            node = pool.acquire_random(rng)
+            counts[node.node_id] = counts.get(node.node_id, 0) + 1
+            pool.release(node)
+        assert len(counts) == 10
+        for count in counts.values():
+            assert 800 < count < 1200  # ~1000 each
+
+    def test_random_alive_includes_busy(self):
+        pool = make_pool(2)
+        rng = random.Random(0)
+        busy = pool.acquire_random(rng)
+        seen = {pool.random_alive(rng).node_id for _ in range(100)}
+        assert busy.node_id in seen
+
+
+@given(st.lists(st.sampled_from(["join", "acquire", "release", "leave"]), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_property_pool_invariants(ops):
+    """Under arbitrary operation sequences, the available set always holds
+    exactly the alive, non-busy members."""
+    pool = NodePool()
+    rng = random.Random(7)
+    held = []
+    for op in ops:
+        if op == "join":
+            pool.join(Node(node_id=pool.allocate_id(), reliability=0.5))
+        elif op == "acquire":
+            node = pool.acquire_random(rng)
+            if node is not None:
+                held.append(node)
+        elif op == "release" and held:
+            pool.release(held.pop())
+        elif op == "leave" and len(pool) > 0:
+            node = pool.random_alive(rng)
+            pool.leave(node.node_id)
+            held = [h for h in held if h.node_id != node.node_id]
+    expected_available = sum(1 for node in pool if node.available)
+    assert pool.available_count == expected_available
+    acquired_ids = set()
+    while True:
+        node = pool.acquire_random(rng)
+        if node is None:
+            break
+        assert node.alive and node.busy
+        assert node.node_id not in acquired_ids
+        acquired_ids.add(node.node_id)

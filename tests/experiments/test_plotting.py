@@ -1,0 +1,64 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Series, SeriesPoint
+from repro.experiments.plotting import ascii_plot
+
+
+def make_result():
+    a = Series("alpha")
+    a.add(SeriesPoint(label="p1", cost=1.0, reliability=0.5))
+    a.add(SeriesPoint(label="p2", cost=10.0, reliability=0.9))
+    b = Series("beta")
+    b.add(SeriesPoint(label="p1", cost=5.0, reliability=0.99))
+    return ExperimentResult("demo plot", [a, b])
+
+
+class TestAsciiPlot:
+    def test_contains_title_markers_and_legend(self):
+        text = ascii_plot(make_result())
+        assert "demo plot" in text
+        assert "T = alpha" in text
+        assert "P = beta" in text
+        plot_rows = [l for l in text.splitlines() if l.startswith("  |")]
+        assert any("T" in row for row in plot_rows)
+        assert any("P" in row for row in plot_rows)
+
+    def test_extremes_on_axes(self):
+        text = ascii_plot(make_result())
+        assert "0.99" in text  # y max
+        assert "10" in text  # x max
+
+    def test_dimensions(self):
+        text = ascii_plot(make_result(), width=30, height=8)
+        plot_rows = [l for l in text.splitlines() if l.startswith("  |")]
+        assert len(plot_rows) == 8
+        assert all(len(row) == 3 + 30 for row in plot_rows)
+
+    def test_degenerate_single_point(self):
+        series = Series("s")
+        series.add(SeriesPoint(label="only", cost=3.0, reliability=0.7))
+        text = ascii_plot(ExperimentResult("single", [series]))
+        assert "T = s" in text
+
+    def test_no_points(self):
+        text = ascii_plot(ExperimentResult("empty", [Series("s")]))
+        assert "no finite points" in text
+
+    def test_nan_points_skipped(self):
+        series = Series("s")
+        series.add(SeriesPoint(label="bad", cost=float("nan"), reliability=0.5))
+        series.add(SeriesPoint(label="ok", cost=1.0, reliability=0.5))
+        text = ascii_plot(ExperimentResult("nan", [series]))
+        assert "T = s" in text
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot(make_result(), width=5, height=2)
+
+    def test_real_figure3(self):
+        from repro.experiments import figure3
+
+        text = ascii_plot(figure3.compute(), x_label="cost", y_label="R")
+        assert "I = IR" in text

@@ -1,0 +1,78 @@
+"""Tests for the sensitivity analysis and the schematic renderings."""
+
+import pytest
+
+from repro.core import analysis
+from repro.experiments import schematics, sensitivity
+
+
+class TestCostReliabilitySurface:
+    def test_surface_shape(self):
+        result = sensitivity.cost_reliability_surface(rs=(0.7, 0.9), ds=(1, 2, 4))
+        assert len(result.series) == 2
+        assert len(result.series[0].points) == 3
+
+    def test_reliability_monotone_in_d_and_r(self):
+        result = sensitivity.cost_reliability_surface()
+        for series in result.series:
+            values = [p.reliability for p in series.points]
+            assert values == sorted(values)
+        # Across series at fixed d: higher r -> higher reliability.
+        first_points = [series.points[2].reliability for series in result.series]
+        assert first_points == sorted(first_points)
+
+
+class TestBreakevenFrontier:
+    def test_rows_cover_grid(self):
+        rows = sensitivity.breakeven_frontier(rs=(0.7,), targets=(0.99, 0.999))
+        assert len(rows) == 2
+
+    def test_savings_always_at_least_one(self):
+        """IR never costs more than the reliability-matched TR vote."""
+        for row in sensitivity.breakeven_frontier():
+            savings = row[5]
+            assert savings >= 1.0 - 1e-9
+
+    def test_margin_meets_target(self):
+        for r, target, d, cost, k_real, savings in sensitivity.breakeven_frontier():
+            assert analysis.iterative_reliability(r, d) >= target
+
+
+class TestMisestimationRegret:
+    def test_reliability_degrades_gracefully(self):
+        """With d tuned at r=0.7 but truth at 0.6, delivered reliability
+        stays within a few points of the correctly tuned value."""
+        rows = sensitivity.misestimation_regret(assumed_r=0.7, target=0.99)
+        by_true_r = {row[0]: row for row in rows}
+        _, d, delivered, cost, tuned = by_true_r[0.6]
+        assert delivered > 0.9
+        assert tuned - delivered < 0.08
+
+    def test_cost_self_adjusts_upward_for_worse_pools(self):
+        rows = sensitivity.misestimation_regret()
+        costs = [row[3] for row in rows]
+        assert costs == sorted(costs, reverse=True)  # worse r -> higher cost
+
+    def test_render_all_contains_three_tables(self):
+        text = sensitivity.render_all()
+        assert text.count("Sensitivity:") == 3
+        assert sensitivity.main() == text
+
+
+class TestSchematics:
+    def test_figure1_mentions_model_elements(self):
+        text = schematics.figure1_schematic()
+        for needle in ("node pool", "job queue", "random selection", "churn"):
+            assert needle in text
+
+    def test_figure2_parameters_come_from_the_code(self):
+        text = schematics.figure2_schematic()
+        assert "distribute 19 independent jobs" in text  # TR initial wave
+        assert "distribute 10 jobs" in text  # PR consensus size
+        assert "distribute 4 jobs" in text  # IR margin
+        assert "while a - b < 4" in text
+
+    def test_main_concatenates(self):
+        text = schematics.main()
+        assert "Figure 1 schematic" in text
+        assert "Figure 2 schematic" in text

@@ -1,0 +1,108 @@
+"""Tests for active replication with strategy-driven read quorums."""
+
+import random
+
+import pytest
+
+from repro.core import IterativeRedundancy, TraditionalRedundancy
+from repro.replication.active import ActiveReplicationService
+from repro.replication.statemachine import ByzantineReplica, Replica
+
+
+def build_group(honest, byzantine, strategy, seed=0, lie_prob=1.0):
+    replicas = [Replica(replica_id=i) for i in range(honest)]
+    replicas += [
+        ByzantineReplica(replica_id=honest + i, lie_prob=lie_prob)
+        for i in range(byzantine)
+    ]
+    return ActiveReplicationService(replicas, strategy, rng=random.Random(seed))
+
+
+class TestWrites:
+    def test_writes_reach_all_live_replicas(self):
+        service = build_group(3, 0, TraditionalRedundancy(3))
+        service.write("k", 42)
+        for replica in service.replicas:
+            assert replica.machine.apply(("get", "k")) == 42
+
+    def test_crashed_replica_misses_writes(self):
+        service = build_group(3, 0, TraditionalRedundancy(3))
+        service.crash(1)
+        service.write("k", 42)
+        assert service.replicas[1].machine.apply(("get", "k")) is None
+        assert service.live_count == 2
+
+    def test_crash_unknown_replica(self):
+        service = build_group(2, 0, TraditionalRedundancy(3))
+        with pytest.raises(KeyError):
+            service.crash(99)
+
+
+class TestReads:
+    def test_all_honest_reads_correct(self):
+        service = build_group(7, 0, IterativeRedundancy(2))
+        service.write("k", "v")
+        for _ in range(50):
+            assert service.read("k") == "v"
+        assert service.report.reliability == 1.0
+
+    def test_iterative_consults_minimum_when_unanimous(self):
+        service = build_group(9, 0, IterativeRedundancy(3))
+        service.write("k", 1)
+        service.read("k")
+        assert service.report.replicas_consulted == 3  # one unanimous wave
+
+    def test_disagreement_widens_the_quorum(self):
+        service = build_group(6, 3, IterativeRedundancy(3), seed=4)
+        service.write("k", 1)
+        for _ in range(60):
+            service.read("k")
+        # Sometimes a liar lands in the first wave, forcing extra samples.
+        assert service.report.max_consulted > 3
+        assert service.report.mean_consulted < 9  # but usually far from all
+
+    def test_outvotes_byzantine_minority(self):
+        service = build_group(8, 2, IterativeRedundancy(4), seed=5)
+        service.write("k", "truth")
+        correct = sum(1 for _ in range(100) if service.read("k") == "truth")
+        assert correct >= 97
+
+    def test_byzantine_majority_wins_sometimes(self):
+        """With liars in the majority no voting scheme can save the read
+        -- the group answer follows the cartel."""
+        service = build_group(2, 7, IterativeRedundancy(3), seed=6)
+        service.write("k", "truth")
+        wrong = sum(1 for _ in range(50) if service.read("k") != "truth")
+        assert wrong > 25
+
+    def test_group_exhaustion_settles_for_leader(self):
+        service = build_group(3, 0, IterativeRedundancy(8), seed=7)
+        service.write("k", 1)
+        value = service.read("k")
+        assert value == 1
+        assert service.exhausted_reads == 1
+
+    def test_traditional_strategy_consults_fixed_count(self):
+        service = build_group(9, 0, TraditionalRedundancy(5))
+        service.write("k", 1)
+        for _ in range(10):
+            service.read("k")
+        assert service.report.mean_consulted == 5.0
+
+    def test_needs_replicas(self):
+        with pytest.raises(ValueError):
+            ActiveReplicationService([], IterativeRedundancy(2))
+
+
+class TestRuntimeAdaptation:
+    def test_cost_tracks_lie_rate(self):
+        """The IR-driven quorum spends more replicas only when liars are
+        present -- the 'specify the replica count at runtime' behaviour."""
+        quiet = build_group(12, 0, IterativeRedundancy(3), seed=8)
+        noisy = build_group(8, 4, IterativeRedundancy(3), seed=8)
+        for service in (quiet, noisy):
+            service.write("k", 1)
+            for _ in range(80):
+                service.read("k")
+        assert quiet.report.mean_consulted == pytest.approx(3.0)
+        assert noisy.report.mean_consulted > quiet.report.mean_consulted

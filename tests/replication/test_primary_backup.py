@@ -1,0 +1,148 @@
+"""Tests for the primary-backup group and its sizing rule."""
+
+import math
+
+import pytest
+
+from repro.replication.primary_backup import (
+    PrimaryBackupGroup,
+    backups_for_availability,
+)
+from repro.sim import Simulator
+from repro.sim.processes import Process, Timeout
+
+
+def drive_requests(sim, group, period=0.5, horizon=200.0):
+    """A client process issuing alternating writes and reads."""
+
+    def client():
+        index = 0
+        while sim.now < horizon:
+            yield Timeout(period)
+            if index % 2 == 0:
+                group.request(("set", "k", index))
+            else:
+                group.request(("get", "k"))
+            index += 1
+
+    Process(sim, client())
+
+
+class TestSizingRule:
+    def test_zero_backups_when_member_meets_target(self):
+        assert backups_for_availability(0.999, 0.99) == 0
+
+    def test_more_backups_for_stricter_targets(self):
+        a = backups_for_availability(0.9, 0.99)
+        b = backups_for_availability(0.9, 0.99999)
+        assert b > a
+
+    def test_closed_form(self):
+        # a=0.9 -> down=0.1; target 0.999 needs (1-a)^(n+1) <= 1e-3 -> n+1=3.
+        assert backups_for_availability(0.9, 0.999) == 2
+
+    def test_group_availability_formula_holds(self):
+        a, n = 0.9, 2
+        group_availability = 1 - (1 - a) ** (n + 1)
+        assert group_availability >= 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backups_for_availability(1.0, 0.99)
+        with pytest.raises(ValueError):
+            backups_for_availability(0.9, 1.0)
+
+
+class TestPrimaryBackupGroup:
+    def test_no_crashes_serves_everything(self):
+        sim = Simulator(seed=1)
+        group = PrimaryBackupGroup(sim, backups=2, crash_rate=0.0)
+        drive_requests(sim, group)
+        sim.run(until=200.0)
+        report = group.finish()
+        assert report.requests > 0
+        assert report.served == report.requests
+        assert report.failovers == 0
+        assert report.availability == 1.0
+
+    def test_crashes_cause_failovers_but_service_survives(self):
+        sim = Simulator(seed=2)
+        group = PrimaryBackupGroup(
+            sim, backups=3, crash_rate=0.05, failover_time=1.0, repair_time=2.0
+        )
+        drive_requests(sim, group, horizon=400.0)
+        sim.run(until=400.0)
+        report = group.finish()
+        assert report.failovers > 5
+        assert report.served_fraction > 0.9
+        assert 0.9 < report.availability < 1.0
+
+    def test_failover_window_rejects_requests(self):
+        sim = Simulator(seed=3)
+        group = PrimaryBackupGroup(
+            sim, backups=2, crash_rate=0.05, failover_time=3.0
+        )
+        drive_requests(sim, group, horizon=400.0)
+        sim.run(until=400.0)
+        report = group.finish()
+        assert report.rejected_during_failover > 0
+
+    def test_updates_in_flight_can_be_lost(self):
+        sim = Simulator(seed=4)
+        group = PrimaryBackupGroup(
+            sim,
+            backups=2,
+            crash_rate=0.2,
+            propagation_delay=0.4,  # wide loss window
+        )
+        drive_requests(sim, group, period=0.2, horizon=300.0)
+        sim.run(until=300.0)
+        report = group.finish()
+        assert report.updates_lost > 0
+
+    def test_promoted_backup_holds_replicated_state(self):
+        sim = Simulator(seed=5)
+        group = PrimaryBackupGroup(sim, backups=1, crash_rate=0.0, propagation_delay=0.1)
+        group.request(("set", "k", 99))
+        sim.run(until=1.0)  # propagation completes
+        group._on_primary_crash(None)  # force a crash deterministically
+        sim.run(until=5.0)
+        assert group.request(("get", "k")) == 99
+
+    def test_zero_backups_total_loss_and_recovery(self):
+        sim = Simulator(seed=6)
+        group = PrimaryBackupGroup(
+            sim, backups=0, crash_rate=0.0, repair_time=5.0
+        )
+        group.request(("set", "k", 1))
+        group._on_primary_crash(None)
+        assert not group.available
+        sim.run(until=10.0)
+        report = group.finish()
+        assert group.available
+        assert report.downtime >= 5.0
+        # State is lost with no backups: fresh machine.
+        assert group.request(("get", "k")) is None
+
+    def test_more_backups_higher_availability(self):
+        def availability(backups, seed):
+            sim = Simulator(seed=seed)
+            group = PrimaryBackupGroup(
+                sim, backups=backups, crash_rate=0.1, failover_time=1.0, repair_time=3.0
+            )
+            drive_requests(sim, group, horizon=600.0)
+            sim.run(until=600.0)
+            return group.finish().availability
+
+        thin = sum(availability(0, s) for s in range(3)) / 3
+        thick = sum(availability(3, s) for s in range(3)) / 3
+        assert thick > thin
+
+    def test_validation(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            PrimaryBackupGroup(sim, backups=-1)
+        with pytest.raises(ValueError):
+            PrimaryBackupGroup(sim, crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            PrimaryBackupGroup(sim, repair_time=-1.0)

@@ -1,0 +1,87 @@
+"""Tests for the replicated state machine and replica behaviours."""
+
+import random
+
+import pytest
+
+from repro.replication.statemachine import (
+    ByzantineReplica,
+    KeyValueStateMachine,
+    Replica,
+)
+
+
+class TestKeyValueStateMachine:
+    def test_set_and_get(self):
+        machine = KeyValueStateMachine()
+        assert machine.apply(("set", "k", 1)) == 1
+        assert machine.apply(("get", "k")) == 1
+        assert machine.apply(("get", "missing")) is None
+
+    def test_applied_counter(self):
+        machine = KeyValueStateMachine()
+        machine.apply(("set", "k", 1))
+        machine.apply(("get", "k"))
+        assert machine.applied == 2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError):
+            KeyValueStateMachine().apply(("frobnicate", 1))
+        with pytest.raises(ValueError):
+            KeyValueStateMachine().apply(())
+
+    def test_snapshot_restore(self):
+        a = KeyValueStateMachine()
+        a.apply(("set", "k", 7))
+        b = KeyValueStateMachine()
+        b.restore(a.snapshot())
+        assert b.apply(("get", "k")) == 7
+
+    def test_determinism(self):
+        """Identical command sequences produce identical states."""
+        commands = [("set", i % 3, i) for i in range(20)]
+        a, b = KeyValueStateMachine(), KeyValueStateMachine()
+        for command in commands:
+            a.apply(command)
+            b.apply(command)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestReplicas:
+    def test_honest_replica_executes(self):
+        replica = Replica(replica_id=1)
+        rng = random.Random(0)
+        replica.execute(("set", "k", 5), rng)
+        assert replica.execute(("get", "k"), rng) == 5
+        assert not replica.byzantine
+
+    def test_dead_replica_returns_none(self):
+        replica = Replica(replica_id=1, alive=False)
+        assert replica.execute(("get", "k"), random.Random(0)) is None
+
+    def test_byzantine_lies_on_reads(self):
+        replica = ByzantineReplica(replica_id=2, lie_prob=1.0)
+        rng = random.Random(0)
+        replica.execute(("set", "k", 5), rng)
+        value = replica.execute(("get", "k"), rng)
+        assert value != 5
+        assert replica.byzantine
+
+    def test_byzantine_lies_collude(self):
+        """Two liars return the same wrong answer for the same command."""
+        rng = random.Random(0)
+        a = ByzantineReplica(replica_id=1, lie_prob=1.0)
+        b = ByzantineReplica(replica_id=2, lie_prob=1.0)
+        for replica in (a, b):
+            replica.execute(("set", "k", 5), rng)
+        assert a.execute(("get", "k"), rng) == b.execute(("get", "k"), rng)
+
+    def test_byzantine_applies_writes_faithfully(self):
+        replica = ByzantineReplica(replica_id=1, lie_prob=0.0)
+        rng = random.Random(0)
+        replica.execute(("set", "k", 5), rng)
+        assert replica.execute(("get", "k"), rng) == 5
+
+    def test_lie_prob_validation(self):
+        with pytest.raises(ValueError):
+            ByzantineReplica(replica_id=1, lie_prob=1.5)

@@ -1,0 +1,74 @@
+"""Tests for problem decomposition and recombination."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.decompose import SatTaskSpec, decompose, recombine
+from repro.sat.formula import random_3sat
+from repro.sat.solver import check_range_numpy, dpll_satisfiable
+
+
+class TestDecompose:
+    def test_paper_configuration_140_tasks(self):
+        formula = random_3sat(22, 91, random.Random(0))
+        specs = decompose(formula, 140)
+        assert len(specs) == 140
+
+    def test_slices_partition_the_space(self):
+        formula = random_3sat(10, 40, random.Random(1))
+        specs = decompose(formula, 7)
+        assert specs[0].start == 0
+        assert specs[-1].stop == formula.assignment_space
+        for prev, cur in zip(specs, specs[1:]):
+            assert prev.stop == cur.start
+
+    def test_slice_sizes_near_equal(self):
+        formula = random_3sat(10, 40, random.Random(2))
+        specs = decompose(formula, 9)  # 1024 / 9 is not integral
+        sizes = {spec.size for spec in specs}
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(spec.size for spec in specs) == 1024
+
+    def test_more_tasks_than_assignments_clamps(self):
+        formula = random_3sat(3, 5, random.Random(3))
+        specs = decompose(formula, 140)
+        assert len(specs) == 8
+        assert all(spec.size == 1 for spec in specs)
+
+    def test_invalid_count(self):
+        formula = random_3sat(5, 10, random.Random(4))
+        with pytest.raises(ValueError):
+            decompose(formula, 0)
+
+    def test_compute_checks_the_slice(self):
+        formula = random_3sat(8, 30, random.Random(5))
+        spec = decompose(formula, 4)[1]
+        assert spec.compute(formula) == check_range_numpy(
+            formula, spec.start, spec.stop
+        )
+
+
+class TestRecombine:
+    def test_or_semantics(self):
+        assert recombine({0: False, 1: True, 2: False}) is True
+        assert recombine({0: False, 1: False}) is False
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            recombine({})
+
+    @given(st.integers(3, 9), st.integers(5, 50), st.integers(0, 300), st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_property_recombination_equals_direct_solve(
+        self, num_vars, num_clauses, seed, num_tasks
+    ):
+        """OR of the slice verdicts equals the problem's satisfiability --
+        both against enumeration and against the independent DPLL oracle."""
+        formula = random_3sat(num_vars, num_clauses, random.Random(seed))
+        specs = decompose(formula, num_tasks)
+        verdicts = {spec.task_id: spec.compute(formula) for spec in specs}
+        combined = recombine(verdicts)
+        assert combined == check_range_numpy(formula, 0, formula.assignment_space)
+        assert combined == dpll_satisfiable(formula)

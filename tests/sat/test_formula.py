@@ -1,0 +1,82 @@
+"""Tests for CNF formulas and random 3-SAT generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.formula import CnfFormula, random_3sat
+
+
+class TestCnfFormula:
+    def test_basic_properties(self):
+        formula = CnfFormula(num_vars=3, clauses=((1, -2, 3), (-1, 2, -3)))
+        assert formula.num_clauses == 2
+        assert formula.assignment_space == 8
+        assert set(formula.literals()) == {1, -2, 3, -1, 2, -3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CnfFormula(num_vars=0, clauses=())
+        with pytest.raises(ValueError):
+            CnfFormula(num_vars=2, clauses=((),))
+        with pytest.raises(ValueError):
+            CnfFormula(num_vars=2, clauses=((3,),))
+        with pytest.raises(ValueError):
+            CnfFormula(num_vars=2, clauses=((0,),))
+
+    def test_dimacs_round_trip(self):
+        formula = CnfFormula(num_vars=4, clauses=((1, -2, 3), (2, 3, -4)))
+        parsed = CnfFormula.from_dimacs(formula.to_dimacs())
+        assert parsed == formula
+
+    def test_dimacs_parses_comments_and_multiline_clauses(self):
+        text = """c a comment
+p cnf 3 2
+1 -2
+3 0
+-1 2 3 0
+"""
+        formula = CnfFormula.from_dimacs(text)
+        assert formula.num_vars == 3
+        assert formula.clauses == ((1, -2, 3), (-1, 2, 3))
+
+    def test_dimacs_infers_num_vars_without_problem_line(self):
+        formula = CnfFormula.from_dimacs("1 -5 2 0\n")
+        assert formula.num_vars == 5
+
+    def test_dimacs_rejects_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            CnfFormula.from_dimacs("p sat 3\n1 0\n")
+
+
+class TestRandom3Sat:
+    def test_shape(self):
+        formula = random_3sat(22, 91, random.Random(0))
+        assert formula.num_vars == 22
+        assert formula.num_clauses == 91
+        assert all(len(clause) == 3 for clause in formula.clauses)
+
+    def test_clause_variables_distinct(self):
+        formula = random_3sat(5, 50, random.Random(1))
+        for clause in formula.clauses:
+            variables = [abs(l) for l in clause]
+            assert len(set(variables)) == 3
+
+    def test_deterministic_for_seed(self):
+        a = random_3sat(10, 42, random.Random(7))
+        b = random_3sat(10, 42, random.Random(7))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_3sat(2, 5, random.Random(0))
+        with pytest.raises(ValueError):
+            random_3sat(5, 0, random.Random(0))
+
+    @given(st.integers(3, 12), st.integers(1, 60), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_generated_formulas_valid(self, num_vars, num_clauses, seed):
+        formula = random_3sat(num_vars, num_clauses, random.Random(seed))
+        # Construction validates literals; round-trip must hold too.
+        assert CnfFormula.from_dimacs(formula.to_dimacs()) == formula

@@ -1,0 +1,96 @@
+"""Tests for the assignment checkers and the DPLL oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.formula import CnfFormula, random_3sat
+from repro.sat.solver import (
+    check_range,
+    check_range_numpy,
+    dpll_satisfiable,
+    evaluate_assignment,
+)
+
+#  (x1 | x2 | x3) & (!x1 | !x2 | !x3): satisfied by mixed assignments.
+MIXED = CnfFormula(num_vars=3, clauses=((1, 2, 3), (-1, -2, -3)))
+
+
+class TestEvaluateAssignment:
+    def test_known_values(self):
+        # assignment 0b011 = x1=1, x2=1, x3=0 -> both clauses satisfied.
+        assert evaluate_assignment(MIXED, 0b011)
+        # 0b000 falsifies clause 1; 0b111 falsifies clause 2.
+        assert not evaluate_assignment(MIXED, 0b000)
+        assert not evaluate_assignment(MIXED, 0b111)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_assignment(MIXED, 8)
+        with pytest.raises(ValueError):
+            evaluate_assignment(MIXED, -1)
+
+
+class TestRangeCheckers:
+    def test_full_space(self):
+        assert check_range(MIXED, 0, 8)
+        assert check_range_numpy(MIXED, 0, 8)
+
+    def test_empty_range_is_false(self):
+        assert not check_range(MIXED, 3, 3)
+        assert not check_range_numpy(MIXED, 3, 3)
+
+    def test_unsat_slice(self):
+        # Only assignments 0 and 7 are unsatisfying; slice {0} is unsat.
+        assert not check_range(MIXED, 0, 1)
+        assert not check_range_numpy(MIXED, 0, 1)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            check_range(MIXED, -1, 4)
+        with pytest.raises(ValueError):
+            check_range_numpy(MIXED, 0, 9)
+        with pytest.raises(ValueError):
+            check_range_numpy(MIXED, 0, 8, chunk=0)
+
+    def test_numpy_chunking_boundaries(self):
+        formula = random_3sat(10, 43, random.Random(3))
+        whole = check_range_numpy(formula, 0, 1024, chunk=1024)
+        chunked = check_range_numpy(formula, 0, 1024, chunk=7)
+        assert whole == chunked
+
+    @given(st.integers(3, 10), st.integers(5, 45), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_numpy_matches_reference(self, num_vars, num_clauses, seed):
+        rng = random.Random(seed)
+        formula = random_3sat(num_vars, num_clauses, rng)
+        space = formula.assignment_space
+        start = rng.randrange(space)
+        stop = rng.randrange(start, space + 1)
+        assert check_range(formula, start, stop) == check_range_numpy(
+            formula, start, stop
+        )
+
+
+class TestDpll:
+    def test_satisfiable_example(self):
+        assert dpll_satisfiable(MIXED)
+
+    def test_unsatisfiable_example(self):
+        # (x1)(!x1) is unsatisfiable (not 3-SAT, but DPLL is general CNF).
+        formula = CnfFormula(num_vars=1, clauses=((1,), (-1,)))
+        assert not dpll_satisfiable(formula)
+
+    def test_trivially_true(self):
+        formula = CnfFormula(num_vars=1, clauses=((1,),))
+        assert dpll_satisfiable(formula)
+
+    @given(st.integers(3, 9), st.integers(5, 60), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_dpll_matches_enumeration(self, num_vars, num_clauses, seed):
+        """DPLL and exhaustive enumeration agree on satisfiability."""
+        formula = random_3sat(num_vars, num_clauses, random.Random(seed))
+        assert dpll_satisfiable(formula) == check_range_numpy(
+            formula, 0, formula.assignment_space
+        )

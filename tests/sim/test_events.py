@@ -1,0 +1,140 @@
+"""Unit tests for the event queue: ordering, stability, cancellation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+def _noop(event):
+    pass
+
+
+class TestEventQueueBasics:
+    def test_empty_queue_is_falsy(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+    def test_push_and_pop_single(self):
+        queue = EventQueue()
+        event = queue.push(3.0, _noop)
+        assert len(queue) == 1
+        assert queue.peek_time() == 3.0
+        assert queue.pop() is event
+        assert len(queue) == 0
+
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, _noop, payload="late")
+        queue.push(1.0, _noop, payload="early")
+        queue.push(3.0, _noop, payload="middle")
+        order = [queue.pop().payload for _ in range(3)]
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_pops_in_insertion_order(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.push(2.0, _noop, payload=i)
+        assert [queue.pop().payload for _ in range(10)] == list(range(10))
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, _noop, priority=5, payload="low")
+        queue.push(1.0, _noop, priority=-1, payload="high")
+        assert queue.pop().payload == "high"
+        assert queue.pop().payload == "low"
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(float(i), _noop)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, _noop, payload="doomed")
+        queue.push(2.0, _noop, payload="kept")
+        queue.cancel(doomed)
+        assert len(queue) == 1
+        assert queue.pop().payload == "kept"
+
+    def test_cancel_updates_peek(self):
+        queue = EventQueue()
+        first = queue.push(1.0, _noop)
+        queue.push(4.0, _noop)
+        queue.cancel(first)
+        assert queue.peek_time() == 4.0
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, _noop)
+        queue.push(2.0, _noop)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_cancel_all_leaves_empty_queue(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), _noop) for i in range(5)]
+        for event in events:
+            queue.cancel(event)
+        assert not queue
+        assert queue.pop() is None
+
+
+class TestEventObject:
+    def test_sort_key_total_order(self):
+        a = Event(time=1.0, priority=0, seq=0, callback=_noop)
+        b = Event(time=1.0, priority=0, seq=1, callback=_noop)
+        c = Event(time=0.5, priority=9, seq=2, callback=_noop)
+        assert a < b
+        assert c < a
+
+    def test_cancel_flag(self):
+        event = Event(time=1.0, priority=0, seq=0, callback=_noop)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+def test_property_pops_sorted(times):
+    """Whatever the insertion order, pops come out time-sorted."""
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, _noop, payload=t)
+    popped = []
+    while queue:
+        popped.append(queue.pop().payload)
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0), st.booleans()),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cancelled_never_pop(entries):
+    """Cancelled events never come out; live events all do."""
+    queue = EventQueue()
+    live = []
+    for t, keep in entries:
+        event = queue.push(t, _noop, payload=t)
+        if keep:
+            live.append(t)
+        else:
+            queue.cancel(event)
+    assert len(queue) == len(live)
+    popped = []
+    while queue:
+        popped.append(queue.pop().payload)
+    assert popped == sorted(live)

@@ -1,0 +1,113 @@
+"""Unit tests for metric collectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import Counter, Histogram, MetricSet, Tally, TimeWeightedStat
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("jobs")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+
+
+class TestTally:
+    def test_empty_tally_is_nan(self):
+        t = Tally()
+        assert math.isnan(t.mean)
+        assert math.isnan(t.minimum)
+
+    def test_known_statistics(self):
+        t = Tally()
+        t.observe_many([2.0, 4.0, 6.0, 8.0])
+        assert t.count == 4
+        assert t.mean == pytest.approx(5.0)
+        assert t.variance == pytest.approx(20.0 / 3.0)
+        assert t.minimum == 2.0
+        assert t.maximum == 8.0
+
+    def test_single_observation_variance_nan(self):
+        t = Tally()
+        t.observe(1.0)
+        assert math.isnan(t.variance)
+
+    def test_confidence_interval_brackets_mean(self):
+        t = Tally()
+        t.observe_many(float(i) for i in range(100))
+        lo, hi = t.confidence_interval()
+        assert lo < t.mean < hi
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=200))
+    def test_property_matches_batch_formulas(self, values):
+        t = Tally()
+        t.observe_many(values)
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        assert t.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert t.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+        assert t.minimum == min(values)
+        assert t.maximum == max(values)
+
+
+class TestTimeWeightedStat:
+    def test_constant_level(self):
+        s = TimeWeightedStat(level=3.0)
+        s.update(10.0, 3.0)
+        assert s.average(10.0) == pytest.approx(3.0)
+
+    def test_step_function(self):
+        s = TimeWeightedStat()
+        s.update(1.0, 10.0)  # level 0 for [0,1), 10 afterwards
+        assert s.average(2.0) == pytest.approx(5.0)
+
+    def test_time_cannot_go_backwards(self):
+        s = TimeWeightedStat()
+        s.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.update(4.0, 2.0)
+
+    def test_zero_span_is_nan(self):
+        assert math.isnan(TimeWeightedStat().average(0.0))
+
+
+class TestHistogram:
+    def test_bins_and_overflow(self):
+        h = Histogram("lat", 0.0, 10.0, 5)
+        for v in [0.5, 2.5, 2.6, 9.9, 10.0, -1.0]:
+            h.observe(v)
+        assert h.counts == [1, 2, 0, 0, 1]
+        assert h.overflow == 1
+        assert h.underflow == 1
+        assert h.total == 6
+
+    def test_bin_edges(self):
+        h = Histogram("x", 0.0, 1.0, 4)
+        assert h.bin_edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram("x", 1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram("x", 0.0, 1.0, 0)
+
+
+class TestMetricSet:
+    def test_lazy_creation_and_snapshot(self):
+        metrics = MetricSet()
+        metrics.counter("jobs").increment(3)
+        metrics.tally("latency").observe_many([1.0, 2.0])
+        snap = metrics.snapshot()
+        assert snap["count.jobs"] == 3
+        assert snap["mean.latency"] == pytest.approx(1.5)
+        assert snap["max.latency"] == 2.0
+
+    def test_same_name_returns_same_collector(self):
+        metrics = MetricSet()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.tally("b") is metrics.tally("b")

@@ -1,0 +1,167 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Process, Simulator, Timeout, Waiting
+
+
+class TestTimeout:
+    def test_process_sleeps_and_resumes(self):
+        sim = Simulator(seed=1)
+        trace = []
+
+        def body():
+            trace.append(("start", sim.now))
+            yield Timeout(2.0)
+            trace.append(("after", sim.now))
+
+        Process(sim, body())
+        sim.run()
+        assert trace == [("start", 0.0), ("after", 2.0)]
+
+    def test_multiple_timeouts_accumulate(self):
+        sim = Simulator(seed=1)
+        times = []
+
+        def body():
+            for _ in range(3):
+                yield Timeout(1.5)
+                times.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert times == pytest.approx([1.5, 3.0, 4.5])
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_return_value_captured(self):
+        sim = Simulator(seed=1)
+
+        def body():
+            yield Timeout(1.0)
+            return "done"
+
+        proc = Process(sim, body())
+        sim.run()
+        assert proc.result == "done"
+        assert not proc.alive
+
+
+class TestWaiting:
+    def test_trigger_wakes_process_with_value(self):
+        sim = Simulator(seed=1)
+        gate = Waiting()
+        got = []
+
+        def waiter():
+            value = yield gate
+            got.append((value, sim.now))
+
+        def trigger_later():
+            yield Timeout(3.0)
+            gate.trigger("payload")
+
+        Process(sim, waiter())
+        Process(sim, trigger_later())
+        sim.run()
+        assert got == [("payload", 3.0)]
+
+    def test_trigger_before_wait_resumes_immediately(self):
+        sim = Simulator(seed=1)
+        gate = Waiting()
+        gate.trigger(42)
+        got = []
+
+        def waiter():
+            value = yield gate
+            got.append(value)
+
+        Process(sim, waiter())
+        sim.run()
+        assert got == [42]
+
+    def test_second_trigger_ignored(self):
+        gate = Waiting()
+        gate.trigger(1)
+        gate.trigger(2)
+        assert gate.triggered
+
+
+class TestLifecycle:
+    def test_interrupt_stops_process(self):
+        sim = Simulator(seed=1)
+        trace = []
+
+        def body():
+            trace.append("start")
+            yield Timeout(10.0)
+            trace.append("never")
+
+        proc = Process(sim, body())
+        sim.schedule(1.0, lambda ev: proc.interrupt())
+        sim.run()
+        assert trace == ["start"]
+        assert not proc.alive
+
+    def test_on_done_callback_fires(self):
+        sim = Simulator(seed=1)
+        done = []
+
+        def body():
+            yield Timeout(1.0)
+
+        proc = Process(sim, body())
+        proc.on_done(lambda p: done.append(sim.now))
+        sim.run()
+        assert done == [1.0]
+
+    def test_on_done_after_finish_fires_immediately(self):
+        sim = Simulator(seed=1)
+
+        def body():
+            yield Timeout(1.0)
+
+        proc = Process(sim, body())
+        sim.run()
+        done = []
+        proc.on_done(lambda p: done.append(True))
+        assert done == [True]
+
+    def test_bad_yield_raises_type_error(self):
+        sim = Simulator(seed=1)
+
+        def body():
+            yield "not a command"
+
+        Process(sim, body())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_exception_in_body_propagates_and_records(self):
+        sim = Simulator(seed=1)
+
+        def body():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        proc = Process(sim, body())
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert isinstance(proc.error, RuntimeError)
+        assert not proc.alive
+
+    def test_two_processes_interleave(self):
+        sim = Simulator(seed=1)
+        trace = []
+
+        def worker(name, period):
+            for _ in range(2):
+                yield Timeout(period)
+                trace.append((name, sim.now))
+
+        Process(sim, worker("fast", 1.0))
+        Process(sim, worker("slow", 1.5))
+        sim.run()
+        assert trace == [("fast", 1.0), ("slow", 1.5), ("fast", 2.0), ("slow", 3.0)]

@@ -1,0 +1,87 @@
+"""Tests for volunteer availability cycling (machines coming and going)."""
+
+import pytest
+
+from repro.core import TraditionalRedundancy
+from repro.sim import Simulator
+from repro.volunteer.client import VolunteerClient, VolunteerNodeProfile
+from repro.volunteer.server import VolunteerServer, WorkUnit
+
+
+class TestProfileAvailability:
+    def test_always_online_by_default(self):
+        profile = VolunteerNodeProfile(node_id=0)
+        assert not profile.cycles_availability
+        assert profile.availability == 1.0
+
+    def test_long_run_fraction(self):
+        profile = VolunteerNodeProfile(node_id=0, mean_online=30.0, mean_offline=10.0)
+        assert profile.cycles_availability
+        assert profile.availability == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolunteerNodeProfile(node_id=0, mean_online=-1.0)
+        with pytest.raises(ValueError):
+            VolunteerNodeProfile(node_id=0, mean_online=0.0, mean_offline=5.0)
+
+
+class TestCyclingClients:
+    def _run(self, profiles, units=10, until=3_000.0, deadline=10.0):
+        sim = Simulator(seed=13)
+        server = VolunteerServer(
+            sim, TraditionalRedundancy(3), deadline=deadline, pool_size=len(profiles)
+        )
+        for unit_id in range(units):
+            server.submit(WorkUnit(unit_id=unit_id))
+        clients = [
+            VolunteerClient(sim, server, p, sim.rng.stream(f"c{p.node_id}"))
+            for p in profiles
+        ]
+        sim.run(until=until)
+        return sim, server, clients
+
+    def test_cycling_clients_still_finish_the_work(self):
+        profiles = [
+            VolunteerNodeProfile(node_id=i, mean_online=20.0, mean_offline=10.0)
+            for i in range(8)
+        ]
+        sim, server, clients = self._run(profiles)
+        assert server.remaining_units == 0
+        assert sum(c.offline_periods for c in clients) > 0
+
+    def test_suspension_can_blow_deadlines(self):
+        """A machine that suspends mid-job misses the report deadline;
+        the server re-issues and the system still converges."""
+        profiles = [
+            VolunteerNodeProfile(node_id=i, mean_online=3.0, mean_offline=30.0)
+            for i in range(10)
+        ]
+        sim, server, clients = self._run(profiles, units=6, deadline=5.0, until=5_000.0)
+        assert server.remaining_units == 0
+        assert server.deadline_misses > 0
+
+    def test_always_online_never_goes_offline(self):
+        profiles = [VolunteerNodeProfile(node_id=i) for i in range(4)]
+        sim, server, clients = self._run(profiles, units=5)
+        assert all(c.offline_periods == 0 for c in clients)
+
+    def test_low_availability_stretches_makespan(self):
+        def makespan(mean_offline):
+            profiles = [
+                VolunteerNodeProfile(
+                    node_id=i,
+                    mean_online=10.0,
+                    mean_offline=mean_offline,
+                )
+                if mean_offline
+                else VolunteerNodeProfile(node_id=i)
+                for i in range(6)
+            ]
+            sim, server, clients = self._run(profiles, units=15, until=10_000.0)
+            assert server.remaining_units == 0
+            # The clock coasts to the horizon after the queue drains, so
+            # measure completion via the last unit's turnaround.
+            return max(record.turnaround for record in server.records)
+
+        assert makespan(20.0) > makespan(0.0)

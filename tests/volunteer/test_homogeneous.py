@@ -1,0 +1,101 @@
+"""Tests for homogeneous redundancy / fuzzy result matching (Section 5.3)."""
+
+import pytest
+
+from repro.core import TraditionalRedundancy
+from repro.sim import Simulator
+from repro.volunteer.client import VolunteerNodeProfile
+from repro.volunteer.homogeneous import (
+    PLATFORM_EPSILON,
+    FuzzyMatcher,
+    platform_value,
+    same_platform_only,
+)
+from repro.volunteer.server import VolunteerServer, WorkUnit
+
+
+def profile(platform, node_id=0):
+    return VolunteerNodeProfile(node_id=node_id, platform=platform)
+
+
+class TestPlatformValue:
+    def test_floats_perturbed_per_platform(self):
+        a = platform_value(1.414213, profile(0))
+        b = platform_value(1.414213, profile(1))
+        assert a != b
+        assert a == pytest.approx(b, abs=1e-6)
+
+    def test_same_platform_bitwise_identical(self):
+        assert platform_value(2.5, profile(3, 1)) == platform_value(2.5, profile(3, 2))
+
+    def test_non_floats_untouched(self):
+        assert platform_value(True, profile(1)) is True
+        assert platform_value("yes", profile(2)) == "yes"
+
+
+class TestFuzzyMatcher:
+    def test_nearby_floats_share_bucket(self):
+        matcher = FuzzyMatcher(1e-6)
+        assert matcher(1.4142135) == matcher(1.4142135 + 1e-9)
+
+    def test_distant_floats_differ(self):
+        matcher = FuzzyMatcher(1e-6)
+        assert matcher(1.0) != matcher(2.0)
+
+    def test_non_floats_pass_through(self):
+        matcher = FuzzyMatcher(1e-6)
+        assert matcher(True) is True
+        assert matcher("x") == "x"
+
+    def test_nan_handled(self):
+        matcher = FuzzyMatcher(1e-6)
+        assert matcher(float("nan")) == matcher(float("nan"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FuzzyMatcher(0.0)
+
+
+class TestSamePlatform:
+    def test_predicate(self):
+        assert same_platform_only(profile(1, 0), profile(1, 1))
+        assert not same_platform_only(profile(1, 0), profile(2, 1))
+
+
+class TestVotingWithPlatformNoise:
+    """The Section 5.3 failure mode and its fix, end to end at the server."""
+
+    def _vote(self, value_matcher=None):
+        sim = Simulator(seed=1)
+        server = VolunteerServer(
+            sim, TraditionalRedundancy(3), value_matcher=value_matcher
+        )
+        truth = 1.4142135623
+        unit = WorkUnit(unit_id=0, true_value=truth, wrong_value=-1.0)
+        # Canonicalise the stored truth the same way results will be, so
+        # correctness scoring compares like with like.
+        if value_matcher is not None:
+            unit = WorkUnit(
+                unit_id=0, true_value=value_matcher(truth), wrong_value=-1.0
+            )
+        server.submit(unit)
+        for node in range(3):
+            assignment = server.request_work(node)
+            reported = platform_value(truth, profile(platform=node, node_id=node))
+            server.report_result(assignment, node, reported)
+        return server, unit
+
+    def test_exact_comparison_fails_across_platforms(self):
+        """Three honest nodes on three platforms never agree bitwise, so
+        the vote has three singleton groups and no majority; the server
+        falls back to an arbitrary plurality pick -- the pathology."""
+        server, unit = self._vote(value_matcher=None)
+        assert unit.done
+        # Three distinct reported values were recorded.
+        assert server.records[0].jobs_used == 3
+
+    def test_fuzzy_matching_restores_consensus(self):
+        server, unit = self._vote(value_matcher=FuzzyMatcher(1e-6))
+        assert unit.done
+        record = server.records[0]
+        assert record.correct  # all three canonical values matched truth

@@ -1,0 +1,197 @@
+"""Unit tests for the volunteer work-unit server (pull model)."""
+
+import pytest
+
+from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
+from repro.sim import Simulator
+from repro.volunteer.server import VolunteerServer, WorkUnit
+
+
+def build(strategy=None, **kwargs):
+    sim = Simulator(seed=1)
+    server = VolunteerServer(sim, strategy or TraditionalRedundancy(3), **kwargs)
+    return sim, server
+
+
+class TestSubmission:
+    def test_submit_queues_initial_wave(self):
+        sim, server = build(TraditionalRedundancy(3))
+        server.submit(WorkUnit(unit_id=0))
+        assert server.remaining_units == 1
+        assert server.has_open_work
+
+    def test_duplicate_submit_rejected(self):
+        sim, server = build()
+        server.submit(WorkUnit(unit_id=0))
+        with pytest.raises(ValueError):
+            server.submit(WorkUnit(unit_id=0))
+
+    def test_deadline_validation(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            VolunteerServer(sim, TraditionalRedundancy(3), deadline=0.0)
+
+
+class TestScheduling:
+    def test_hands_out_initial_wave_then_denies(self):
+        sim, server = build(TraditionalRedundancy(3))
+        server.submit(WorkUnit(unit_id=0))
+        assignments = [server.request_work(node_id=i) for i in range(4)]
+        assert all(a is not None for a in assignments[:3])
+        assert assignments[3] is None
+        assert server.requests_denied == 1
+
+    def test_one_result_per_node_per_unit(self):
+        sim, server = build(TraditionalRedundancy(3))
+        server.submit(WorkUnit(unit_id=0))
+        first = server.request_work(node_id=7)
+        second = server.request_work(node_id=7)
+        assert first is not None
+        assert second is None  # same node cannot serve the unit twice
+
+    def test_same_node_can_serve_different_units(self):
+        sim, server = build(TraditionalRedundancy(3))
+        server.submit(WorkUnit(unit_id=0))
+        server.submit(WorkUnit(unit_id=1))
+        a = server.request_work(node_id=7)
+        b = server.request_work(node_id=7)
+        assert a is not None and b is not None
+        assert a.unit.unit_id != b.unit.unit_id
+
+    def test_no_work_returns_none(self):
+        sim, server = build()
+        assert server.request_work(node_id=0) is None
+
+
+class TestValidation:
+    def test_unanimous_vote_accepts(self):
+        sim, server = build(TraditionalRedundancy(3))
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        for node in range(3):
+            assignment = server.request_work(node)
+            server.report_result(assignment, node, True)
+        assert unit.done
+        assert server.remaining_units == 0
+        record = server.records[0]
+        assert record.correct
+        assert record.jobs_used == 3
+
+    def test_majority_of_wrong_values_misleads(self):
+        sim, server = build(TraditionalRedundancy(3))
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        values = [False, False, True]
+        for node, value in enumerate(values):
+            assignment = server.request_work(node)
+            server.report_result(assignment, node, value)
+        assert server.records[0].value is False
+        assert not server.records[0].correct
+
+    def test_iterative_extends_vote_on_disagreement(self):
+        sim, server = build(IterativeRedundancy(2))
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        a = server.request_work(0)
+        b = server.request_work(1)
+        server.report_result(a, 0, True)
+        server.report_result(b, 1, False)
+        assert not unit.done
+        # The strategy asked for two more (margin deficit 2).
+        c = server.request_work(2)
+        d = server.request_work(3)
+        assert c is not None and d is not None
+        server.report_result(c, 2, True)
+        server.report_result(d, 3, True)
+        assert unit.done
+        assert server.records[0].jobs_used == 4
+        assert server.records[0].waves == 2
+
+    def test_late_result_after_completion_ignored(self):
+        sim, server = build(TraditionalRedundancy(3))
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        assignments = [server.request_work(i) for i in range(3)]
+        for node, assignment in enumerate(assignments[:3]):
+            server.report_result(assignment, node, True)
+        before = server.results_received
+        server.report_result(assignments[0], 0, True)  # duplicate upload
+        assert server.results_received == before
+
+    def test_value_matcher_canonicalises(self):
+        sim, server = build(
+            TraditionalRedundancy(3), value_matcher=lambda v: round(v, 3)
+        )
+        unit = WorkUnit(unit_id=0, true_value=round(1.0001, 3), wrong_value=False)
+        server.submit(unit)
+        for node, value in enumerate([1.0008, 1.0011, 1.0006]):
+            assignment = server.request_work(node)
+            server.report_result(assignment, node, value)
+        assert unit.done
+        assert server.records[0].jobs_used == 3  # fuzzy-equal: one vote group
+
+
+class TestDeadlines:
+    def test_deadline_miss_counts_and_reissues(self):
+        sim, server = build(TraditionalRedundancy(3), deadline=5.0)
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        assignments = [server.request_work(i) for i in range(3)]
+        server.report_result(assignments[0], 0, True)
+        server.report_result(assignments[1], 1, True)
+        # Node 2 stays silent; advance past the deadline.
+        sim.run(until=10.0)
+        assert server.deadline_misses == 1
+        assert not unit.done  # strategy requested a replacement response
+        replacement = server.request_work(3)
+        assert replacement is not None
+        server.report_result(replacement, 3, True)
+        assert unit.done
+
+    def test_result_after_deadline_is_void(self):
+        sim, server = build(TraditionalRedundancy(3), deadline=2.0)
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        assignment = server.request_work(0)
+        sim.run(until=5.0)  # deadline fires
+        before = server.results_received
+        server.report_result(assignment, 0, True)
+        assert server.results_received == before
+
+    def test_silent_node_may_retry_the_unit(self):
+        """A node that missed its deadline cast no vote, so it becomes
+        eligible for the unit again (and cannot starve small pools)."""
+        sim, server = build(TraditionalRedundancy(3), deadline=2.0)
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        server.request_work(0)
+        sim.run(until=5.0)
+        retry = server.request_work(0)
+        assert retry is not None
+        assert retry.unit is unit
+
+    def test_reporting_node_stays_burned(self):
+        """A node that *did* vote on a unit is never re-eligible for it."""
+        sim, server = build(IterativeRedundancy(2), deadline=10.0)
+        unit = WorkUnit(unit_id=0)
+        server.submit(unit)
+        a = server.request_work(0)
+        b = server.request_work(1)
+        server.report_result(a, 0, True)
+        server.report_result(b, 1, False)  # split vote -> more jobs needed
+        assert not unit.done
+        assert server.request_work(0) is None
+        assert server.request_work(2) is not None
+
+
+class TestVerdicts:
+    def test_verdicts_map(self):
+        sim, server = build(TraditionalRedundancy(3))
+        for unit_id in range(2):
+            server.submit(WorkUnit(unit_id=unit_id))
+        for unit_id in range(2):
+            for node in range(3):
+                assignment = server.request_work(node + unit_id * 3)
+                server.report_result(assignment, node + unit_id * 3, unit_id == 1)
+        verdicts = server.verdicts()
+        assert verdicts == {0: False, 1: True}

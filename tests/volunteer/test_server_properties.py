@@ -1,0 +1,98 @@
+"""Property-based tests of the volunteer server's scheduling invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
+from repro.sim import Simulator
+from repro.volunteer.server import VolunteerServer, WorkUnit
+
+strategies_st = st.sampled_from(
+    [
+        lambda: TraditionalRedundancy(3),
+        lambda: TraditionalRedundancy(5),
+        lambda: ProgressiveRedundancy(5),
+        lambda: ProgressiveRedundancy(9),
+        lambda: IterativeRedundancy(2),
+        lambda: IterativeRedundancy(4),
+    ]
+)
+
+
+@given(
+    strategies_st,
+    st.integers(1, 6),  # units
+    st.integers(6, 30),  # node pool size
+    st.floats(min_value=0.0, max_value=1.0),  # wrong-answer probability
+    st.integers(0, 10_000),  # seed
+)
+@settings(max_examples=60, deadline=None)
+def test_property_scheduling_invariants(make_strategy, units, nodes, wrong_prob, seed):
+    """Drive random polling clients against the server and check, at every
+    step and at the end:
+
+    * a node never holds two live assignments for the same unit,
+    * every unit reaches a verdict,
+    * per-unit counted responses come from distinct nodes,
+    * jobs_used per record equals the unit's recorded outcomes.
+    """
+    sim = Simulator(seed=seed)
+    server = VolunteerServer(sim, make_strategy(), deadline=50.0, pool_size=nodes)
+    for unit_id in range(units):
+        server.submit(WorkUnit(unit_id=unit_id))
+    rng = random.Random(seed ^ 0xABCDEF)
+
+    # unit -> node -> live assignment count (must stay <= 1)
+    live = {unit_id: {} for unit_id in range(units)}
+    voters = {unit_id: [] for unit_id in range(units)}
+
+    steps = 0
+    while server.has_open_work and steps < 10_000:
+        steps += 1
+        node_id = rng.randrange(nodes)
+        assignment = server.request_work(node_id)
+        if assignment is None:
+            # Let simulated time pass so deadlines can fire if we stall.
+            sim.run(until=sim.now + 1.0)
+            continue
+        unit_id = assignment.unit.unit_id
+        live[unit_id][node_id] = live[unit_id].get(node_id, 0) + 1
+        assert live[unit_id][node_id] == 1, "node double-booked on a unit"
+        value = rng.random() >= wrong_prob
+        server.report_result(assignment, node_id, value)
+        live[unit_id][node_id] -= 1
+        voters[unit_id].append(node_id)
+
+    assert server.remaining_units == 0, "a unit starved"
+    assert len(server.records) == units
+    for record in server.records:
+        unit_voters = voters[record.task_id]
+        # Responses (excluding repeats allowed only on pool exhaustion)
+        # come from distinct nodes unless the pool was exhausted.
+        if server.repeat_assignments == 0:
+            assert len(set(unit_voters)) == len(unit_voters)
+        assert record.jobs_used == len(unit_voters) or record.jobs_used <= len(unit_voters) + server.deadline_misses
+
+
+@given(st.integers(2, 8), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_property_pool_smaller_than_vote_still_terminates(pool_size, seed):
+    """Even when the strategy wants more distinct nodes than exist, the
+    exhaustion fallback keeps units finishing."""
+    sim = Simulator(seed=seed)
+    server = VolunteerServer(
+        sim, IterativeRedundancy(pool_size + 3), deadline=10.0, pool_size=pool_size
+    )
+    server.submit(WorkUnit(unit_id=0))
+    rng = random.Random(seed)
+    steps = 0
+    while server.has_open_work and steps < 5_000:
+        steps += 1
+        node_id = rng.randrange(pool_size)
+        assignment = server.request_work(node_id)
+        if assignment is None:
+            sim.run(until=sim.now + 1.0)
+            continue
+        server.report_result(assignment, node_id, True)
+    assert server.remaining_units == 0
