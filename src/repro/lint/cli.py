@@ -1,0 +1,155 @@
+"""Command-line entry point: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit codes: 0 = clean, 1 = error-severity findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintEngine, registered_rules
+from repro.lint.findings import Finding, Severity
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & correctness static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.reprolint] paths)",
+    )
+    parser.add_argument(
+        "-f",
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (overrides config enable)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        help="comma-separated rule ids to skip (adds to config disable)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.reprolint] from (default: auto-discover)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _split_rules(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [token.strip() for token in raw.split(",") if token.strip()]
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    pyproject = Path(args.config) if args.config else None
+    if pyproject is not None and not pyproject.is_file():
+        raise FileNotFoundError(f"config file not found: {pyproject}")
+    config = load_config(pyproject)
+    selected = _split_rules(args.select)
+    if selected is not None:
+        config.enable = selected
+    disabled = _split_rules(args.disable)
+    if disabled is not None:
+        config.disable = list(config.disable) + disabled
+    return config
+
+
+def _render_text(findings: List[Finding], engine: LintEngine) -> str:
+    lines = [finding.format() for finding in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"{engine.files_checked} file(s) checked: "
+        f"{errors} error(s), {warnings} warning(s), "
+        f"{engine.suppressed_count} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings: List[Finding], engine: LintEngine) -> str:
+    summary: Dict[str, int] = {}
+    for finding in findings:
+        summary[finding.rule_id] = summary.get(finding.rule_id, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": engine.files_checked,
+        "suppressed": engine.suppressed_count,
+        "findings": [finding.as_dict() for finding in findings],
+        "summary": summary,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    registry = registered_rules()
+    if args.list_rules:
+        for rule_id, cls in sorted(registry.items()):
+            print(f"{rule_id}  [{cls.severity.value}]  {cls.summary}")
+        return 0
+
+    if args.select is not None and not _split_rules(args.select):
+        print("repro-lint: --select got no rule ids", file=sys.stderr)
+        return 2
+
+    try:
+        config = _resolve_config(args)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    unknown = [
+        rule_id
+        for rule_id in (config.enable or []) + list(config.disable)
+        if rule_id not in registry
+    ]
+    if unknown:
+        print(f"repro-lint: unknown rule id(s): {', '.join(sorted(set(unknown)))}", file=sys.stderr)
+        return 2
+
+    rule_ids = config.selected_rule_ids(sorted(registry))
+    engine = LintEngine(rules=[registry[rule_id]() for rule_id in rule_ids])
+
+    paths = list(args.paths) or list(config.paths)
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"repro-lint: path(s) not found: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings = engine.lint_paths(paths)
+    if args.format == "json":
+        print(_render_json(findings, engine))
+    else:
+        print(_render_text(findings, engine))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""``[tool.reprolint]`` configuration loaded from ``pyproject.toml``.
+
+Python 3.11+ ships :mod:`tomllib`; on older interpreters (the repo
+supports 3.9) a minimal fallback parser handles the small subset of TOML
+this table actually uses: string values and (possibly multi-line) arrays
+of strings.  No third-party TOML package is required.
+"""
+
+from __future__ import annotations
+
+import ast as _ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 only
+    _toml = None
+
+DEFAULT_PATHS = ["src/repro"]
+
+_SECTION_RE = re.compile(r"^\s*\[tool\.reprolint\]\s*(#.*)?$")
+_ANY_SECTION_RE = re.compile(r"^\s*\[")
+_KEY_RE = re.compile(r"^\s*([A-Za-z0-9_-]+)\s*=\s*(.*)$")
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter configuration.
+
+    Attributes:
+        paths: Default lint targets when the CLI gets no positional paths.
+        enable: Rule ids to run, or ``None`` for every registered rule.
+        disable: Rule ids to skip (applied after ``enable``).
+        source: Where the config came from (for diagnostics).
+    """
+
+    paths: List[str] = field(default_factory=lambda: list(DEFAULT_PATHS))
+    enable: Optional[List[str]] = None
+    disable: List[str] = field(default_factory=list)
+    source: str = "<defaults>"
+
+    def selected_rule_ids(self, registered: List[str]) -> List[str]:
+        selected = list(registered) if self.enable is None else [
+            rule_id for rule_id in registered if rule_id in self.enable
+        ]
+        return [rule_id for rule_id in selected if rule_id not in self.disable]
+
+
+def _fallback_parse(text: str) -> Dict[str, Any]:
+    """Extract the ``[tool.reprolint]`` table without a TOML library."""
+    table: Dict[str, Any] = {}
+    lines = text.splitlines()
+    in_section = False
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if _SECTION_RE.match(line):
+            in_section = True
+            i += 1
+            continue
+        if in_section and _ANY_SECTION_RE.match(line):
+            break
+        if in_section:
+            match = _KEY_RE.match(line)
+            if match:
+                key, value = match.group(1), match.group(2)
+                # Accumulate lines until array brackets balance.
+                while value.count("[") > value.count("]") and i + 1 < len(lines):
+                    i += 1
+                    value += " " + lines[i].strip()
+                value = value.split("#", 1)[0].strip().rstrip(",")
+                try:
+                    table[key] = _ast.literal_eval(value)
+                except (ValueError, SyntaxError):
+                    pass  # unsupported TOML construct; ignore the key
+        i += 1
+    return table
+
+
+def _read_table(path: Path) -> Dict[str, Any]:
+    text = path.read_text(encoding="utf-8")
+    if _toml is not None:
+        data = _toml.loads(text)
+        table = data.get("tool", {}).get("reprolint", {})
+        return table if isinstance(table, dict) else {}
+    return _fallback_parse(text)
+
+
+def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start`` (default: cwd)."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Load ``[tool.reprolint]``; missing file or table yields defaults."""
+    if pyproject is None:
+        pyproject = find_pyproject()
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    table = _read_table(pyproject)
+    config = LintConfig(source=str(pyproject))
+    paths = table.get("paths")
+    if isinstance(paths, list) and all(isinstance(p, str) for p in paths):
+        config.paths = list(paths)
+    enable = table.get("enable")
+    if isinstance(enable, list) and all(isinstance(r, str) for r in enable):
+        config.enable = list(enable)
+    disable = table.get("disable")
+    if isinstance(disable, list) and all(isinstance(r, str) for r in disable):
+        config.disable = list(disable)
+    return config

@@ -1,0 +1,384 @@
+"""The initial reprolint rule set (RL001-RL006).
+
+Each rule encodes one determinism or correctness invariant of this
+repository; ``docs/linting.md`` documents the rationale behind every
+rule and how to suppress a finding that is provably safe.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding
+
+#: Packages whose code runs inside simulations (simulated time only) or on
+#: engine/server hot paths.  ``experiments`` and ``sat`` are deliberately
+#: excluded: plotting and file I/O may touch the wall clock.
+SIM_PACKAGES: FrozenSet[str] = frozenset(
+    {"sim", "dca", "core", "volunteer", "grid", "replication", "mapreduce"}
+)
+
+#: Module-level draw functions of :mod:`random` (the shared global stream).
+_GLOBAL_DRAWS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+    }
+)
+
+_WALL_CLOCK_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+#: Identifier words that mark an expression as a probability/confidence.
+_PROB_PREFIXES = ("probab", "confid", "credib", "belief", "likelihood", "reliab")
+_PROB_EXACT = frozenset({"prob"})
+
+_WORD_RE = re.compile(r"[a-z]+")
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+
+def _module_aliases(tree: ast.Module, module: str) -> FrozenSet[str]:
+    """Local names bound to ``import module`` (including ``as`` aliases)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return frozenset(aliases)
+
+
+def _from_imports(tree: ast.Module, module: str) -> Dict[str, Tuple[str, ast.ImportFrom]]:
+    """Local name -> (original name, import node) for ``from module import ...``."""
+    out: Dict[str, Tuple[str, ast.ImportFrom]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = (alias.name, node)
+    return out
+
+
+@register
+class NoGlobalRandomRule(Rule):
+    """RL001: simulations must draw from RngRegistry streams, never the
+    process-global ``random`` module (one stray draw perturbs every
+    subsequent draw in the shared stream and breaks replay)."""
+
+    rule_id = "RL001"
+    summary = "no draws from the global random module (use RngRegistry streams)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = _module_aliases(module.tree, "random")
+        for name, (original, node) in _from_imports(module.tree, "random").items():
+            if original in _GLOBAL_DRAWS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"importing random.{original} binds the shared global RNG stream; "
+                    "draw from an RngRegistry stream instead",
+                )
+            del name
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not (isinstance(node.value, ast.Name) and node.value.id in aliases):
+                continue
+            if node.attr in _GLOBAL_DRAWS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{node.attr} draws from the shared global RNG stream; "
+                    "use a random.Random handed out by RngRegistry",
+                )
+            elif node.attr == "SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom is a nondeterministic entropy source; "
+                    "seed an RngRegistry instead",
+                )
+
+
+@register
+class NoWallClockRule(Rule):
+    """RL002: simulation packages run on simulated time; reading the wall
+    clock makes event timestamps (and everything derived from them)
+    irreproducible."""
+
+    rule_id = "RL002"
+    summary = "no wall-clock reads inside simulation packages (simulated time only)"
+    packages = SIM_PACKAGES
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        time_aliases = _module_aliases(module.tree, "time")
+        datetime_aliases = _module_aliases(module.tree, "datetime")
+        from_time = _from_imports(module.tree, "time")
+        from_datetime = _from_imports(module.tree, "datetime")
+
+        for local, (original, node) in from_time.items():
+            if original in _WALL_CLOCK_TIME:
+                yield self.finding(
+                    module,
+                    node,
+                    f"time.{original} reads the wall clock; use Simulator.now "
+                    "(simulated time) instead",
+                )
+            del local
+        datetime_classes = {
+            local for local, (original, _) in from_datetime.items() if original in ("datetime", "date")
+        }
+
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            base = func.value
+            # time.time(), time.monotonic(), ...
+            if (
+                isinstance(base, ast.Name)
+                and base.id in time_aliases
+                and func.attr in _WALL_CLOCK_TIME
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"time.{func.attr}() reads the wall clock; use Simulator.now instead",
+                )
+            # datetime.datetime.now(), datetime.date.today()
+            elif (
+                func.attr in _WALL_CLOCK_DATETIME
+                and isinstance(base, ast.Attribute)
+                and base.attr in ("datetime", "date")
+                and isinstance(base.value, ast.Name)
+                and base.value.id in datetime_aliases
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"datetime.{base.attr}.{func.attr}() reads the wall clock; "
+                    "use Simulator.now instead",
+                )
+            # datetime.now() / date.today() via from-import
+            elif (
+                func.attr in _WALL_CLOCK_DATETIME
+                and isinstance(base, ast.Name)
+                and base.id in datetime_classes
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{base.id}.{func.attr}() reads the wall clock; use Simulator.now instead",
+                )
+
+
+def _probability_words(node: ast.AST) -> bool:
+    """True if the expression's identifiers mark it as a probability."""
+    names = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+        elif isinstance(sub, ast.arg):  # pragma: no cover - not an expression
+            names.append(sub.arg)
+    for name in names:
+        for word in _WORD_RE.findall(name.lower()):
+            if word in _PROB_EXACT or word.startswith(_PROB_PREFIXES):
+                return True
+    return False
+
+
+def _non_float_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, (str, bool, bytes)) or (
+        isinstance(node, ast.Constant) and node.value is None
+    )
+
+
+@register
+class NoFloatEqualityOnProbabilitiesRule(Rule):
+    """RL003: probabilities and confidences are floats built from products
+    and complements; exact ``==``/``!=`` on them silently depends on
+    rounding.  Require ``math.isclose`` or an explicit tolerance.
+
+    The self-comparison NaN idiom (``x == x``) is exempt.
+    """
+
+    rule_id = "RL003"
+    summary = "no float ==/!= on probability/confidence expressions (use math.isclose)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if ast.dump(left) == ast.dump(right):
+                    continue  # NaN-check idiom (x == x)
+                if _non_float_literal(left) or _non_float_literal(right):
+                    continue
+                if _probability_words(left) or _probability_words(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module,
+                        node,
+                        f"exact float {symbol} on a probability/confidence expression; "
+                        "use math.isclose or an explicit tolerance",
+                    )
+                    break
+
+
+@register
+class NoMutableDefaultArgsRule(Rule):
+    """RL004: a mutable default is created once at definition time and
+    shared across calls -- state leaks between invocations."""
+
+    rule_id = "RL004"
+    summary = "no mutable default arguments"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {name}(); "
+                        "use None and create the value inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _MUTABLE_CALLS:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_CALLS:
+                return True
+        return False
+
+
+@register
+class RngStreamNameLiteralRule(Rule):
+    """RL005: RNG stream names must be string literals, so the complete
+    set of streams a simulation uses can be audited statically (grep for
+    ``.stream("``) and collisions spotted in review."""
+
+    rule_id = "RL005"
+    summary = "RNG stream/spawn names must be string literals"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in ("stream", "spawn"):
+                continue
+            name_arg: Optional[ast.AST] = None
+            if node.args:
+                name_arg = node.args[0]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "name":
+                        name_arg = keyword.value
+            if name_arg is None:
+                continue
+            if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+                continue
+            yield self.finding(
+                module,
+                name_arg,
+                f".{node.func.attr}() name must be a string literal so the stream "
+                "set is statically auditable",
+            )
+
+
+@register
+class NoSwallowedExceptionsRule(Rule):
+    """RL006: a bare ``except:`` (or ``except Exception: pass``) on an
+    engine/server hot path hides StopSimulation, vote-accounting bugs, and
+    determinism violations alike."""
+
+    rule_id = "RL006"
+    summary = "no bare/blanket exception swallowing on engine and server hot paths"
+    packages = SIM_PACKAGES
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except catches StopSimulation and KeyboardInterrupt; "
+                    "name the exception type",
+                )
+                continue
+            blanket = (
+                isinstance(node.type, ast.Name) and node.type.id in ("Exception", "BaseException")
+            ) or (
+                isinstance(node.type, ast.Attribute)
+                and node.type.attr in ("Exception", "BaseException")
+            )
+            if blanket and all(self._is_noop(stmt) for stmt in node.body):
+                name = node.type.attr if isinstance(node.type, ast.Attribute) else node.type.id
+                yield self.finding(
+                    module,
+                    node,
+                    f"except {name}: pass silently swallows failures on a hot path; "
+                    "handle or re-raise",
+                )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return isinstance(stmt, ast.Expr) and (
+            isinstance(stmt.value, ast.Constant) and stmt.value.value is Ellipsis
+        )

@@ -1,0 +1,199 @@
+"""Runtime determinism sanitizer: replay a simulation and diff the traces.
+
+The static rules in :mod:`repro.lint.rules` catch the *sources* of
+nondeterminism they know about; this module catches the symptom directly.
+A :class:`DeterminismSanitizer` executes the same experiment several
+times from the same seed, captures each run's :class:`~repro.dca.tracing.TraceLog`
+event stream and final metrics, and reports the **first diverging event**
+-- the exact simulated time and payload where replay broke, which is
+usually within a few events of the offending draw.
+
+Example:
+    >>> from repro.core import IterativeRedundancy
+    >>> from repro.dca import DcaConfig
+    >>> from repro.lint.sanitizer import sanitize_dca
+    >>> report = sanitize_dca(DcaConfig(
+    ...     strategy=IterativeRedundancy(2), tasks=20, nodes=10, seed=3))
+    >>> report.ok
+    True
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dca.config import DcaConfig
+from repro.dca.simulation import DcaSimulation
+from repro.dca.tracing import TraceEvent, TraceLog, instrument_server
+
+#: One run's observable outcome: the trace stream and the final metrics.
+RunCapture = Tuple[Sequence[TraceEvent], Mapping[str, Any]]
+Runner = Callable[[], RunCapture]
+
+
+class DeterminismError(AssertionError):
+    """Raised by :meth:`SanitizerReport.raise_if_diverged` on divergence."""
+
+
+def canonical_event(event: TraceEvent) -> str:
+    """A stable, byte-comparable rendering of one trace event."""
+    detail = ",".join(f"{key}={event.detail[key]!r}" for key in sorted(event.detail))
+    return f"t={event.time!r} {event.kind} task={event.task_id} [{detail}]"
+
+
+def trace_fingerprint(events: Sequence[TraceEvent]) -> str:
+    """Canonical text for a whole stream (byte-identical iff streams are)."""
+    return "\n".join(canonical_event(event) for event in events)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Where two supposedly identical runs first disagreed.
+
+    Attributes:
+        kind: ``"event"`` (payload mismatch at ``index``), ``"length"``
+            (one stream is a strict prefix of the other), or ``"metric"``
+            (identical traces but different final metrics).
+        index: Index of the first diverging event (-1 for metric kind).
+        expected: Canonical rendering from the reference run.
+        observed: Canonical rendering from the diverging run.
+    """
+
+    kind: str
+    index: int
+    expected: str
+    observed: str
+
+    def describe(self) -> str:
+        if self.kind == "metric":
+            return f"final metrics diverged: expected {self.expected}, observed {self.observed}"
+        if self.kind == "length":
+            return (
+                f"trace streams diverged at event #{self.index}: "
+                f"one run ended, the other recorded {self.observed}"
+            )
+        return (
+            f"first divergence at trace event #{self.index}: "
+            f"expected {self.expected}, observed {self.observed}"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Outcome of a determinism check."""
+
+    ok: bool
+    runs: int
+    events_compared: int
+    divergence: Optional[Divergence] = None
+
+    def message(self) -> str:
+        if self.ok:
+            return (
+                f"deterministic: {self.runs} runs produced identical "
+                f"{self.events_compared}-event traces and metrics"
+            )
+        assert self.divergence is not None
+        return f"NONDETERMINISM after {self.runs} runs: {self.divergence.describe()}"
+
+    def raise_if_diverged(self) -> None:
+        if not self.ok:
+            raise DeterminismError(self.message())
+
+
+def diff_captures(reference: RunCapture, observed: RunCapture) -> Optional[Divergence]:
+    """First divergence between two run captures, or ``None`` if identical."""
+    ref_events, ref_metrics = reference
+    obs_events, obs_metrics = observed
+    for index, (expected, got) in enumerate(zip(ref_events, obs_events)):
+        if expected != got:
+            return Divergence(
+                kind="event",
+                index=index,
+                expected=canonical_event(expected),
+                observed=canonical_event(got),
+            )
+    if len(ref_events) != len(obs_events):
+        index = min(len(ref_events), len(obs_events))
+        longer = ref_events if len(ref_events) > len(obs_events) else obs_events
+        return Divergence(
+            kind="length",
+            index=index,
+            expected=f"{len(ref_events)} events",
+            observed=canonical_event(longer[index]),
+        )
+    if dict(ref_metrics) != dict(obs_metrics):
+        changed = sorted(
+            key
+            for key in set(ref_metrics) | set(obs_metrics)
+            if ref_metrics.get(key) != obs_metrics.get(key)
+        )
+        return Divergence(
+            kind="metric",
+            index=-1,
+            expected=repr({key: ref_metrics.get(key) for key in changed}),
+            observed=repr({key: obs_metrics.get(key) for key in changed}),
+        )
+    return None
+
+
+class DeterminismSanitizer:
+    """Replays a runner and diffs every run against the first.
+
+    Args:
+        runner: Zero-argument callable executing one *fresh* run and
+            returning ``(trace events, final metrics)``.  The runner must
+            rebuild all state per call -- the sanitizer cannot detect
+            state smuggled between runs through shared objects.
+        runs: Total executions (>= 2).
+    """
+
+    def __init__(self, runner: Runner, *, runs: int = 2) -> None:
+        if runs < 2:
+            raise ValueError(f"need at least 2 runs to compare, got {runs}")
+        self.runner = runner
+        self.runs = runs
+
+    def check(self) -> SanitizerReport:
+        reference = self.runner()
+        for _ in range(self.runs - 1):
+            observed = self.runner()
+            divergence = diff_captures(reference, observed)
+            if divergence is not None:
+                return SanitizerReport(
+                    ok=False,
+                    runs=self.runs,
+                    events_compared=divergence.index if divergence.index >= 0 else len(reference[0]),
+                    divergence=divergence,
+                )
+        return SanitizerReport(ok=True, runs=self.runs, events_compared=len(reference[0]))
+
+
+def dca_runner(config: DcaConfig, *, trace_capacity: Optional[int] = None) -> Runner:
+    """A :class:`DeterminismSanitizer` runner for one DCA configuration.
+
+    The config (including its strategy, which may carry reputation state)
+    is deep-copied per run so every execution starts from scratch.
+    """
+
+    def run() -> RunCapture:
+        sim = DcaSimulation(copy.deepcopy(config))
+        log = instrument_server(sim.server, TraceLog(capacity=trace_capacity))
+        report = sim.run()
+        events: List[TraceEvent] = list(log)
+        return events, report.as_dict()
+
+    return run
+
+
+def sanitize_dca(
+    config: DcaConfig,
+    *,
+    runs: int = 2,
+    trace_capacity: Optional[int] = None,
+) -> SanitizerReport:
+    """Run a DCA simulation ``runs`` times and diff traces and metrics."""
+    sanitizer = DeterminismSanitizer(dca_runner(config, trace_capacity=trace_capacity), runs=runs)
+    return sanitizer.check()

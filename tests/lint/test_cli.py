@@ -1,0 +1,148 @@
+"""CLI behaviour: exit codes, text/JSON output, rule selection, and the
+``[tool.reprolint]`` config table (including the no-tomllib fallback)."""
+
+import json
+import textwrap
+
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+from repro.lint.config import LintConfig, _fallback_parse, load_config
+
+CLEAN = 'GREETING = "hello"\n'
+VIOLATING = textwrap.dedent(
+    """
+    import random
+
+    def jitter():
+        return random.random()
+    """
+)
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(content, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "clean.py", CLEAN)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_violation_exits_one_with_file_line_rule(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", VIOLATING)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:5: RL001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, "clean.py", CLEAN)
+        assert main(["--select", "RL999", str(path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestOutputFormats:
+    def test_json_schema(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", VIOLATING)
+        assert main(["--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["suppressed"] == 0
+        assert payload["summary"] == {"RL001": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "severity", "message"}
+        assert finding["rule"] == "RL001"
+        assert finding["line"] == 5
+        assert finding["severity"] == "error"
+
+    def test_json_on_clean_tree(self, tmp_path, capsys):
+        path = write(tmp_path, "clean.py", CLEAN)
+        assert main(["--format", "json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in out
+
+
+class TestRuleSelection:
+    def test_select_limits_rules(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", VIOLATING + "\n\ndef f(items=[]):\n    return items\n")
+        assert main(["--select", "RL004", "--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"RL004": 1}
+
+    def test_disable_skips_rule(self, tmp_path):
+        path = write(tmp_path, "bad.py", VIOLATING)
+        assert main(["--disable", "RL001", str(path)]) == 0
+
+
+class TestConfigTable:
+    PYPROJECT = textwrap.dedent(
+        """
+        [project]
+        name = "demo"
+
+        [tool.reprolint]
+        paths = ["{target}"]
+        disable = ["RL004"]
+
+        [tool.other]
+        x = 1
+        """
+    )
+
+    def test_config_paths_and_disable(self, tmp_path, capsys):
+        target = write(tmp_path, "bad.py", VIOLATING + "\n\ndef f(items=[]):\n    return items\n")
+        pyproject = write(
+            tmp_path,
+            "pyproject.toml",
+            self.PYPROJECT.format(target=str(target)),
+        )
+        # No positional paths: targets come from the config table.
+        assert main(["--config", str(pyproject), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"RL001": 1}  # RL004 disabled by config
+
+    def test_missing_config_exits_two(self, tmp_path, capsys):
+        assert main(["--config", str(tmp_path / "nope.toml")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_load_config_defaults_without_table(self, tmp_path):
+        pyproject = write(tmp_path, "pyproject.toml", "[project]\nname = 'demo'\n")
+        config = load_config(pyproject)
+        assert config.paths == ["src/repro"]
+        assert config.enable is None
+        assert config.disable == []
+
+    def test_fallback_parser_matches_expected_table(self, tmp_path):
+        # Exercised directly so 3.11+ runs cover the 3.9/3.10 path.
+        text = self.PYPROJECT.format(target="src/repro")
+        table = _fallback_parse(text)
+        assert table == {"paths": ["src/repro"], "disable": ["RL004"]}
+
+    def test_fallback_parser_multiline_array(self):
+        text = textwrap.dedent(
+            """
+            [tool.reprolint]
+            enable = [
+                "RL001",
+                "RL002",
+            ]
+            """
+        )
+        assert _fallback_parse(text) == {"enable": ["RL001", "RL002"]}
+
+    def test_selected_rule_ids_resolution(self):
+        config = LintConfig(enable=["RL001", "RL003"], disable=["RL003"])
+        assert config.selected_rule_ids(["RL001", "RL002", "RL003"]) == ["RL001"]

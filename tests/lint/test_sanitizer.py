@@ -1,0 +1,110 @@
+"""Runtime determinism sanitizer: clean runs pass, an injected
+global-RNG draw is detected and pinpointed at the first diverging event."""
+
+import random
+
+import pytest
+
+from repro.core import IterativeRedundancy, TraditionalRedundancy
+from repro.dca.config import DcaConfig
+from repro.dca.node import Node
+from repro.lint.sanitizer import (
+    DeterminismError,
+    DeterminismSanitizer,
+    dca_runner,
+    diff_captures,
+    sanitize_dca,
+    trace_fingerprint,
+)
+
+
+def small_config(strategy=None, seed=11):
+    return DcaConfig(
+        strategy=strategy or IterativeRedundancy(2),
+        tasks=60,
+        nodes=15,
+        reliability=0.7,
+        seed=seed,
+    )
+
+
+class TestCleanRuns:
+    def test_dca_run_is_deterministic(self):
+        report = sanitize_dca(small_config())
+        assert report.ok
+        assert report.divergence is None
+        assert report.events_compared > 0
+        assert "deterministic" in report.message()
+        report.raise_if_diverged()  # no-op when ok
+
+    def test_three_runs_supported(self):
+        report = sanitize_dca(small_config(TraditionalRedundancy(3)), runs=3)
+        assert report.ok and report.runs == 3
+
+    def test_runner_captures_events_and_metrics(self):
+        events, metrics = dca_runner(small_config())()
+        assert len(events) > 0
+        assert metrics["tasks"] == 60
+        assert trace_fingerprint(events)  # non-empty canonical text
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError):
+            DeterminismSanitizer(dca_runner(small_config()), runs=1)
+
+
+class TestInjectedNondeterminism:
+    def test_global_rng_draw_is_detected_and_pinpointed(self, monkeypatch):
+        # Inject exactly the bug RL001 guards against: a job-duration
+        # perturbation drawn from the process-global random module.  Two
+        # same-seed runs then consume different global draws and their
+        # traces must diverge.
+        original = Node.job_duration
+
+        def leaky_duration(self, base_duration):
+            return original(self, base_duration) + random.random() * 0.01
+
+        monkeypatch.setattr(Node, "job_duration", leaky_duration)
+        report = sanitize_dca(small_config())
+        assert not report.ok
+        divergence = report.divergence
+        assert divergence is not None
+        assert divergence.kind in ("event", "length", "metric")
+        if divergence.kind == "event":
+            assert divergence.index >= 0
+            assert divergence.expected != divergence.observed
+            assert f"#{divergence.index}" in divergence.describe()
+        assert "NONDETERMINISM" in report.message()
+        with pytest.raises(DeterminismError):
+            report.raise_if_diverged()
+
+    def test_fingerprints_differ_under_injection(self, monkeypatch):
+        original = Node.job_duration
+        monkeypatch.setattr(
+            Node,
+            "job_duration",
+            lambda self, base: original(self, base) + random.random() * 0.01,
+        )
+        runner = dca_runner(small_config())
+        first, _ = runner()
+        second, _ = runner()
+        assert trace_fingerprint(first) != trace_fingerprint(second)
+
+
+class TestDiffCaptures:
+    def test_metric_divergence_when_traces_match(self):
+        events, metrics = dca_runner(small_config())()
+        altered = dict(metrics)
+        altered["reliability"] = -1.0
+        divergence = diff_captures((events, metrics), (events, altered))
+        assert divergence is not None and divergence.kind == "metric"
+        assert "reliability" in divergence.expected
+
+    def test_length_divergence(self):
+        events, metrics = dca_runner(small_config())()
+        divergence = diff_captures((events, metrics), (events[:-1], metrics))
+        assert divergence is not None and divergence.kind == "length"
+        assert divergence.index == len(events) - 1
+
+    def test_identical_captures_have_no_divergence(self):
+        capture = dca_runner(small_config())()
+        assert diff_captures(capture, capture) is None

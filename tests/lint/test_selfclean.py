@@ -1,0 +1,20 @@
+"""The shipped tree must satisfy its own invariants: linting ``src/repro``
+produces zero findings (suppressions with stated justifications aside)."""
+
+from pathlib import Path
+
+import repro
+from repro.lint import LintEngine
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_src_repro_lints_clean():
+    engine = LintEngine()
+    findings = engine.lint_paths([str(SRC_ROOT)])
+    assert findings == [], "\n".join(f.format() for f in findings)
+    # Guard against accidental mass-suppression: the three documented
+    # disables (SystemRandom seeding, per-site and per-client streams)
+    # should be roughly all there is.
+    assert engine.suppressed_count <= 6
+    assert engine.files_checked > 50
