@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Benchmark: regenerate Figure 3 (analytic reliability vs cost, r = 0.7)."""
 
 import pytest

@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Benchmark: regenerate Figure 5(a) (DES reliability vs cost, r = 0.7).
 
 Reduced scale (one replication, 2,000 tasks, 300 nodes, three points per

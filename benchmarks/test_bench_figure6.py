@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Benchmark: regenerate Figure 6 (response time vs cost factor)."""
 
 import pytest

@@ -1,0 +1,111 @@
+"""Command-line entry point for the benchmark harness.
+
+Usage::
+
+    python -m repro.bench --quick
+    python -m repro.bench decide_loops figure_sweep --jobs 4 --output-dir bench-out
+
+Writes one ``BENCH_<suite>.json`` per suite and prints a one-line summary
+each.  Exits non-zero if the figure sweep's parallel checksum diverges
+from the serial one -- CI treats that as a broken determinism contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.report import write_report
+from repro.bench.suites import SUITES, run_suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the voting hot paths and the replication engine.",
+    )
+    parser.add_argument(
+        "suites",
+        nargs="*",
+        metavar="suite",
+        help=f"suites to run (default: all of {sorted(SUITES)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced problem sizes and repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the parallel sweep (default: all CPUs)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per case (default: per-suite)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for BENCH_<suite>.json reports (default: cwd)",
+    )
+    parser.add_argument("--list", action="store_true", help="list suites and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in sorted(SUITES):
+            summary = (SUITES[name].__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:15s} {summary}")
+        return 0
+    names = args.suites or sorted(SUITES)
+    unknown = [name for name in names if name not in SUITES]
+    if unknown:
+        print(
+            f"unknown suite(s) {unknown}; choose from {sorted(SUITES)}",
+            file=sys.stderr,
+        )
+        return 2
+    repeats = args.repeats
+    if repeats is None and args.quick:
+        repeats = 1
+    diverged = False
+    for name in names:
+        payload = run_suite(
+            name,
+            seed=args.seed,
+            jobs=args.jobs,
+            quick=args.quick,
+            repeats=repeats,
+        )
+        path = write_report(name, payload, output_dir=args.output_dir)
+        line = f"{name}: {payload['wall_clock_seconds']:.2f}s -> {path}"
+        if "speedup" in payload.get("results", {}):
+            line += f" (speedup x{payload['results']['speedup']:.2f})"
+        print(line)
+        if payload.get("diverged"):
+            diverged = True
+            print(
+                f"ERROR: {name}: parallel checksum "
+                f"{payload['parallel_checksum'][:16]}... diverged from serial "
+                f"{payload['serial_checksum'][:16]}...",
+                file=sys.stderr,
+            )
+    if diverged:
+        print(
+            "benchmark FAILED: parallel results diverged from serial baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

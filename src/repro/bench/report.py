@@ -1,0 +1,57 @@
+"""Schema-versioned benchmark reports (``BENCH_<name>.json``).
+
+The schema is the contract CI depends on: bump :data:`SCHEMA_VERSION`
+whenever a field changes meaning, so downstream trajectory tooling can
+tell eras apart instead of silently comparing incompatible numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Union
+
+#: Bump on any incompatible change to the report layout.
+SCHEMA_VERSION = 1
+
+
+def machine_info() -> dict:
+    """Where the numbers came from; perf is meaningless without this."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def report_path(name: str, output_dir: Union[str, Path] = ".") -> Path:
+    """The canonical location of one suite's report."""
+    return Path(output_dir) / f"BENCH_{name}.json"
+
+
+def write_report(
+    name: str,
+    payload: dict,
+    *,
+    output_dir: Union[str, Path] = ".",
+) -> Path:
+    """Write one suite's report; returns the path written.
+
+    The payload is wrapped with the schema version and machine info; the
+    suite supplies the seed, timings, results, and checksum fields.
+    """
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": name,
+        "machine": machine_info(),
+        **payload,
+    }
+    path = report_path(name, output_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

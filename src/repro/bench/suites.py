@@ -1,0 +1,233 @@
+"""The benchmark suites: voting hot paths, the DES engine, the DCA
+model, and the serial-vs-parallel figure sweep.
+
+Every suite is deterministic given its seed: reports carry a checksum
+(:func:`repro.parallel.fingerprint_of` over the computed results) so CI
+can flag *correctness* drift, not just perf drift.  The ``figure_sweep``
+suite computes the same figure serially and in parallel and compares the
+two checksums -- a standing regression test for the replication engine's
+jobs-invariance guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.bench.timing import time_callable
+from repro.core import (
+    IterativeRedundancy,
+    ProgressiveRedundancy,
+    TraditionalRedundancy,
+)
+from repro.core.runner import monte_carlo
+from repro.dca import DcaConfig, run_dca
+from repro.parallel import fingerprint_of, resolve_jobs
+from repro.sim.engine import Simulator
+
+#: suite name -> callable(seed=, jobs=, quick=, repeats=) -> payload dict
+SUITES: Dict[str, Callable[..., dict]] = {}
+
+
+def _suite(fn: Callable[..., dict]) -> Callable[..., dict]:
+    SUITES[fn.__name__.replace("bench_", "")] = fn
+    return fn
+
+
+@_suite
+def bench_decide_loops(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """Time the three decide loops via the substrate-free Monte-Carlo runner."""
+    del jobs
+    tasks = 400 if quick else 4_000
+    r = 0.7
+    cases = {
+        "iterative_d3": lambda: monte_carlo(
+            lambda: IterativeRedundancy(3), r, tasks, seed=seed
+        ),
+        "progressive_k7": lambda: monte_carlo(
+            lambda: ProgressiveRedundancy(7), r, tasks, seed=seed
+        ),
+        "traditional_k7": lambda: monte_carlo(
+            lambda: TraditionalRedundancy(7), r, tasks, seed=seed
+        ),
+    }
+    timings = {}
+    results = {}
+    for name, body in cases.items():
+        stats, estimate = time_callable(body, repeats=repeats)
+        timings[name] = stats.as_dict()
+        results[name] = {
+            "reliability": estimate.reliability,
+            "cost_factor": estimate.cost_factor,
+            "mean_waves": estimate.mean_waves,
+            "tasks_per_second": tasks / stats.best,
+        }
+    checksum_input = {
+        name: {k: v for k, v in metrics.items() if k != "tasks_per_second"}
+        for name, metrics in results.items()
+    }
+    return {
+        "seed": seed,
+        "quick": quick,
+        "params": {"tasks": tasks, "r": r},
+        "timings": timings,
+        "results": results,
+        "checksum": fingerprint_of(checksum_input),
+    }
+
+
+@_suite
+def bench_sim_engine(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """Raw DES event throughput: a self-rescheduling event chain."""
+    del jobs
+    events = 20_000 if quick else 200_000
+
+    def body() -> int:
+        sim = Simulator(seed=seed)
+        delays = sim.rng.stream("bench-delays")
+
+        def tick(event) -> None:
+            if sim.events_processed < events:
+                sim.schedule_after(delays.expovariate(1.0), tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    stats, processed = time_callable(body, repeats=repeats)
+    results = {
+        "events_processed": processed,
+        "events_per_second": processed / stats.best,
+    }
+    return {
+        "seed": seed,
+        "quick": quick,
+        "params": {"events": events},
+        "timings": {"event_chain": stats.as_dict()},
+        "results": results,
+        "checksum": fingerprint_of({"events_processed": processed}),
+    }
+
+
+@_suite
+def bench_dca_run(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """End-to-end DCA simulation throughput (the per-replicate unit of work)."""
+    del jobs
+    tasks = 300 if quick else 2_000
+    nodes = 100 if quick else 400
+    config = dict(tasks=tasks, nodes=nodes, reliability=0.7, seed=seed)
+
+    def body() -> dict:
+        report = run_dca(DcaConfig(strategy=IterativeRedundancy(3), **config))
+        return report.as_dict()
+
+    stats, metrics = time_callable(body, repeats=repeats)
+    return {
+        "seed": seed,
+        "quick": quick,
+        "params": config,
+        "timings": {"iterative_d3": stats.as_dict()},
+        "results": {
+            "metrics": metrics,
+            "tasks_per_second": tasks / stats.best,
+        },
+        "checksum": fingerprint_of(metrics),
+    }
+
+
+@_suite
+def bench_figure_sweep(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 1
+) -> dict:
+    """Figure 5(a) at reduced scale, serial vs parallel.
+
+    The serial and parallel checksums must be identical -- any divergence
+    means the replication engine broke its determinism contract, and the
+    CLI turns it into a non-zero exit for CI.
+    """
+    from repro.experiments import figure5a
+
+    effective_jobs = resolve_jobs(jobs)
+    params = dict(
+        ks=(3, 7),
+        ds=(2, 3),
+        tasks=300 if quick else 1_500,
+        nodes=100 if quick else 300,
+        replications=2,
+        seed=seed,
+    )
+
+    def run(n_jobs: int) -> dict:
+        return figure5a.compute(jobs=n_jobs, **params).as_dict()
+
+    serial_stats, serial_result = time_callable(
+        lambda: run(1), repeats=repeats, warmup=0
+    )
+    parallel_stats, parallel_result = time_callable(
+        lambda: run(effective_jobs), repeats=repeats, warmup=0
+    )
+    serial_checksum = fingerprint_of(serial_result)
+    parallel_checksum = fingerprint_of(parallel_result)
+    return {
+        "seed": seed,
+        "quick": quick,
+        "jobs": effective_jobs,
+        "params": params,
+        "timings": {
+            "serial": serial_stats.as_dict(),
+            "parallel": parallel_stats.as_dict(),
+        },
+        "results": {
+            "speedup": serial_stats.best / parallel_stats.best,
+        },
+        "serial_checksum": serial_checksum,
+        "parallel_checksum": parallel_checksum,
+        "checksum": serial_checksum,
+        "diverged": serial_checksum != parallel_checksum,
+    }
+
+
+def run_suite(
+    name: str,
+    *,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+) -> dict:
+    """Run one suite by name; returns its report payload with wall time."""
+    try:
+        suite = SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark suite {name!r}; choose from {sorted(SUITES)}"
+        ) from None
+    kwargs = dict(seed=seed, jobs=jobs, quick=quick)
+    if repeats is not None:
+        kwargs["repeats"] = repeats
+    start = time.perf_counter()
+    payload = suite(**kwargs)
+    payload["wall_clock_seconds"] = time.perf_counter() - start
+    return payload
+
+
+def run_suites(
+    names=None,
+    *,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+) -> Dict[str, dict]:
+    """Run several suites (all by default) in a stable order."""
+    selected = sorted(SUITES) if names is None else list(names)
+    return {
+        name: run_suite(name, seed=seed, jobs=jobs, quick=quick, repeats=repeats)
+        for name in selected
+    }

@@ -1,0 +1,59 @@
+"""Wall-clock timing primitives for the benchmark suites."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Wall-clock statistics over repeated calls of one benchmark body."""
+
+    repeats: int
+    best: float
+    mean: float
+    total: float
+
+    def as_dict(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "best_seconds": self.best,
+            "mean_seconds": self.mean,
+            "total_seconds": self.total,
+        }
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Tuple[TimingStats, Any]:
+    """Call ``fn`` ``warmup + repeats`` times; time the last ``repeats``.
+
+    Returns the timing statistics and the value from the final call (every
+    call is deterministic given its seed, so any call's value would do).
+    """
+    if repeats < 1:
+        raise ValueError(f"need at least one timed repeat, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup}")
+    value: Any = None
+    for _ in range(warmup):
+        value = fn()
+    durations = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        durations.append(time.perf_counter() - start)
+    return (
+        TimingStats(
+            repeats=repeats,
+            best=min(durations),
+            mean=sum(durations) / len(durations),
+            total=sum(durations),
+        ),
+        value,
+    )

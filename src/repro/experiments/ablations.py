@@ -17,8 +17,7 @@ calls out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List
+from typing import Optional, Tuple
 
 from repro.core import (
     AdaptiveReplication,
@@ -405,12 +404,23 @@ ABLATIONS: dict = {
 }
 
 
-def main(scale: str = "default") -> str:
+def _run_section(spec: Tuple[str, int]) -> str:
+    """Render one ablation section (module-level, picklable worker)."""
+    name, tasks = spec
+    return ABLATIONS[name](tasks=tasks)
+
+
+def main(scale: str = "default", jobs: Optional[int] = 1) -> str:
+    """Run every ablation; sections are independent studies with their
+    own seeds, so they fan out over the replication engine as-is and the
+    rendered output is identical for any ``jobs`` value."""
+    from repro.parallel import parallel_map
+
     sizes = {"smoke": 800, "default": 3_000, "full": 10_000}
     tasks = sizes.get(scale, 3_000)
-    sections: List[str] = []
-    for name, func in ABLATIONS.items():
-        sections.append(func(tasks=tasks))
+    sections = parallel_map(
+        _run_section, [(name, tasks) for name in ABLATIONS], jobs=jobs
+    )
     return "\n\n".join(sections)
 
 

@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -35,6 +36,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("smoke", "default", "full"),
         default="default",
         help="run size: smoke (seconds), default (a few minutes), full (the paper's scale)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for replicated simulations (default: all "
+            "CPUs; --jobs 1 runs the exact in-process serial path; "
+            "results are identical for any value)"
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     parser.add_argument(
@@ -62,15 +73,15 @@ _DATA_KWARGS = {
 }
 
 
-def _compute_data(name: str, module):
+def _compute_data(name: str, module, jobs: Optional[int] = None):
     kwargs = _DATA_KWARGS.get(name)
     if kwargs is None or not hasattr(module, "compute"):
         return None
-    return module.compute(**kwargs)
+    return module.compute(jobs=jobs, **kwargs)
 
 
-def _maybe_plot(name: str, module) -> Optional[str]:
-    result = _compute_data(name, module)
+def _maybe_plot(name: str, module, jobs: Optional[int] = None) -> Optional[str]:
+    result = _compute_data(name, module, jobs=jobs)
     if result is None:
         return None
     from repro.experiments.plotting import ascii_plot
@@ -83,10 +94,10 @@ def _maybe_plot(name: str, module) -> Optional[str]:
     return ascii_plot(result, x_label=x_label, y_label=y_label)
 
 
-def _maybe_json(name: str, module) -> Optional[str]:
+def _maybe_json(name: str, module, jobs: Optional[int] = None) -> Optional[str]:
     import json
 
-    result = _compute_data(name, module)
+    result = _compute_data(name, module, jobs=jobs)
     if result is None:
         return None
     return json.dumps(result.as_dict(), indent=2, sort_keys=True)
@@ -94,6 +105,7 @@ def _maybe_json(name: str, module) -> Optional[str]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if args.list or args.experiment is None:
         print("available experiments:")
         for name, module in sorted(EXPERIMENTS.items()):
@@ -103,7 +115,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiment == "all":
         for name, module in EXPERIMENTS.items():
-            print(module.main(args.scale))
+            print(module.main(args.scale, jobs=jobs))
             print()
         return 0
     module = EXPERIMENTS.get(args.experiment)
@@ -111,15 +123,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment {args.experiment!r}; try --list", file=sys.stderr)
         return 2
     if args.json:
-        payload = _maybe_json(args.experiment, module)
+        payload = _maybe_json(args.experiment, module, jobs=jobs)
         if payload is None:
             print(f"(no JSON output available for {args.experiment})", file=sys.stderr)
             return 2
         print(payload)
         return 0
-    print(module.main(args.scale))
+    print(module.main(args.scale, jobs=jobs))
     if args.plot:
-        plot = _maybe_plot(args.experiment, module)
+        plot = _maybe_plot(args.experiment, module, jobs=jobs)
         if plot is not None:
             print()
             print(plot)

@@ -8,7 +8,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.strategy import RedundancyStrategy
-from repro.dca import DcaConfig, DcaReport, run_dca
+from repro.parallel import (
+    ReplicateEnvelope,
+    aggregate_metrics,
+    dca_replicate_specs,
+    run_dca_replicates,
+)
 
 
 @dataclass(frozen=True)
@@ -117,6 +122,29 @@ class ReplicatedMeasurement:
     replications: int
 
 
+def measurement_from_envelopes(
+    envelopes: Sequence[ReplicateEnvelope],
+) -> ReplicatedMeasurement:
+    """Fold one sweep point's replicate envelopes into a measurement.
+
+    Aggregation happens in replicate (position) order via the parallel
+    reducer, so the result is identical however the replicates were
+    scheduled.  One replicate yields zero error bars, not NaN.
+    """
+    aggregates = aggregate_metrics(
+        envelopes, keys=("reliability", "cost_factor", "mean_response_time")
+    )
+    return ReplicatedMeasurement(
+        mean_reliability=aggregates["reliability"].mean,
+        mean_cost=aggregates["cost_factor"].mean,
+        reliability_err=aggregates["reliability"].stderr,
+        cost_err=aggregates["cost_factor"].stderr,
+        mean_response_time=aggregates["mean_response_time"].mean,
+        max_jobs=max(int(envelope.metrics["max_jobs"]) for envelope in envelopes),
+        replications=len(envelopes),
+    )
+
+
 def replicate_dca(
     strategy_factory: Callable[[], RedundancyStrategy],
     *,
@@ -125,56 +153,33 @@ def replicate_dca(
     reliability: float,
     replications: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = 1,
     **config_overrides,
 ) -> ReplicatedMeasurement:
     """Run several independent DES replications and aggregate with errors.
 
     A fresh strategy instance per replication keeps node-aware strategies
-    honest; seeds derive from the base seed.
+    honest; per-replicate seeds spawn deterministically from the base
+    seed (:func:`repro.parallel.replicate_seeds`), so the same base seed
+    always reproduces the same replicates.
+
+    Args:
+        jobs: Worker processes for the replication engine.  ``1``
+            (default) runs the exact in-process serial path; ``None``
+            uses every core.  All values produce identical results.
     """
     if replications < 1:
         raise ValueError(f"need at least one replication, got {replications}")
-    reliabilities: List[float] = []
-    costs: List[float] = []
-    responses: List[float] = []
-    max_jobs = 0
-    for repetition in range(replications):
-        report = run_dca(
-            DcaConfig(
-                strategy=strategy_factory(),
-                tasks=tasks,
-                nodes=nodes,
-                reliability=reliability,
-                seed=seed * 10_007 + repetition,
-                **config_overrides,
-            )
-        )
-        reliabilities.append(report.system_reliability)
-        costs.append(report.cost_factor)
-        responses.append(report.mean_response_time)
-        max_jobs = max(max_jobs, report.max_jobs_per_task)
-    return ReplicatedMeasurement(
-        mean_reliability=_mean(reliabilities),
-        mean_cost=_mean(costs),
-        reliability_err=_stderr(reliabilities),
-        cost_err=_stderr(costs),
-        mean_response_time=_mean(responses),
-        max_jobs=max_jobs,
+    specs = dca_replicate_specs(
+        strategy_factory,
+        tasks=tasks,
+        nodes=nodes,
+        reliability=reliability,
         replications=replications,
+        seed=seed,
+        **config_overrides,
     )
-
-
-def _mean(values: Sequence[float]) -> float:
-    return sum(values) / len(values)
-
-
-def _stderr(values: Sequence[float]) -> float:
-    n = len(values)
-    if n < 2:
-        return 0.0
-    mean = _mean(values)
-    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
-    return math.sqrt(variance / n)
+    return measurement_from_envelopes(run_dca_replicates(specs, jobs=jobs))
 
 
 #: Scales for the CLI: (tasks, nodes, replications) for DES experiments.

@@ -101,7 +101,8 @@ def render(rows: List[ExampleRow]) -> str:
     )
 
 
-def main(scale: str = "default") -> str:
+def main(scale: str = "default", jobs: Optional[int] = None) -> str:
+    """Closed forms only; ``jobs`` accepted for CLI uniformity."""
     return render(compute())
 
 

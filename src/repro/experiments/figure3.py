@@ -11,7 +11,7 @@ the same curves from the discrete-event simulation.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core import analysis
 from repro.experiments.common import ExperimentResult, Series, SeriesPoint, render_table
@@ -25,8 +25,15 @@ def compute(
     r: float = DEFAULT_R,
     ks: Sequence[int] = DEFAULT_KS,
     ds: Sequence[int] = DEFAULT_DS,
+    *,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    """Evaluate the three closed-form curves."""
+    """Evaluate the three closed-form curves.
+
+    ``jobs`` is accepted for CLI uniformity; closed forms have nothing
+    to parallelise, so results are trivially identical for any value.
+    """
+    del jobs
     traditional = Series("TR")
     for k in ks:
         traditional.add(
@@ -77,8 +84,13 @@ def render(result: ExperimentResult) -> str:
     )
 
 
-def main(scale: str = "default", r: float = DEFAULT_R) -> str:
-    """Scale is irrelevant for closed forms; accepted for CLI uniformity."""
+def main(
+    scale: str = "default",
+    r: float = DEFAULT_R,
+    jobs: Optional[int] = None,
+) -> str:
+    """Scale and jobs are irrelevant for closed forms; accepted for CLI
+    uniformity."""
     return render(compute(r=r))
 
 

@@ -15,7 +15,7 @@ substitution -- see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
 from repro.core import analysis
@@ -24,9 +24,10 @@ from repro.experiments.common import (
     ExperimentResult,
     Series,
     SeriesPoint,
+    measurement_from_envelopes,
     render_table,
-    replicate_dca,
 )
+from repro.parallel import dca_replicate_specs, run_dca_replicates
 
 DEFAULT_R = 0.7
 DEFAULT_KS = (3, 7, 11, 15, 19)
@@ -42,10 +43,14 @@ def compute(
     nodes: int = 1_000,
     replications: int = 3,
     seed: int = 1,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
-    """Measure each technique's (cost, reliability) by simulation."""
-    series_list: List[Series] = []
+    """Measure each technique's (cost, reliability) by simulation.
 
+    The whole sweep -- every (technique, parameter) point times every
+    replication -- is one flat spec list fanned out through the parallel
+    replication engine; results are identical for any ``jobs`` value.
+    """
     sweeps = [
         ("TR", [(f"k={k}", lambda k=k: TraditionalRedundancy(k)) for k in ks],
          [(analysis.traditional_cost(k), analysis.traditional_reliability(r, k)) for k in ks]),
@@ -54,10 +59,11 @@ def compute(
         ("IR", [(f"d={d}", lambda d=d: IterativeRedundancy(d)) for d in ds],
          [(analysis.iterative_cost(r, d), analysis.iterative_reliability(r, d)) for d in ds]),
     ]
+    specs = []
+    points = []  # (series name, label, cost_pred, rel_pred, start, stop)
     for name, configs, analytic in sweeps:
-        series = Series(name)
         for (label, factory), (cost_pred, rel_pred) in zip(configs, analytic):
-            measurement = replicate_dca(
+            point_specs = dca_replicate_specs(
                 factory,
                 tasks=tasks,
                 nodes=nodes,
@@ -65,6 +71,18 @@ def compute(
                 replications=replications,
                 seed=seed,
             )
+            start = len(specs)
+            specs.extend(point_specs)
+            points.append((name, label, cost_pred, rel_pred, start, len(specs)))
+    envelopes = run_dca_replicates(specs, jobs=jobs)
+
+    series_list: List[Series] = []
+    for name, _, _ in sweeps:
+        series = Series(name)
+        for point_name, label, cost_pred, rel_pred, start, stop in points:
+            if point_name != name:
+                continue
+            measurement = measurement_from_envelopes(envelopes[start:stop])
             series.add(
                 SeriesPoint(
                     label=label,
@@ -113,7 +131,11 @@ def render(result: ExperimentResult) -> str:
     )
 
 
-def main(scale: str = "default", r: float = DEFAULT_R) -> str:
+def main(
+    scale: str = "default",
+    r: float = DEFAULT_R,
+    jobs: Optional[int] = 1,
+) -> str:
     params = SCALES[scale]
     return render(
         compute(
@@ -121,6 +143,7 @@ def main(scale: str = "default", r: float = DEFAULT_R) -> str:
             tasks=params["tasks"],
             nodes=params["nodes"],
             replications=params["replications"],
+            jobs=jobs,
         )
     )
 

@@ -16,12 +16,13 @@ reliability, cost, and the derived r.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
 from repro.core.strategy import RedundancyStrategy
 from repro.experiments.common import ExperimentResult, Series, SeriesPoint, render_table
-from repro.volunteer import PlanetLabTestbed, VolunteerConfig, run_volunteer
+from repro.parallel import VolunteerProblemSpec, run_volunteer_problems
+from repro.volunteer import PlanetLabTestbed
 
 DEFAULT_KS = (3, 7, 11, 15, 19)
 DEFAULT_DS = (1, 2, 3, 4, 5, 6)
@@ -43,36 +44,54 @@ def compute(
     problems: int = 3,
     nodes: int = 200,
     seed: int = 3,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
-    """Run the volunteer deployment per technique and parameter."""
+    """Run the volunteer deployment per technique and parameter.
+
+    Every (technique, parameter, problem) run is independent, so the
+    whole grid fans out through the parallel replication engine; the
+    per-problem seeds (``seed * 1000 + problem``) and all aggregates are
+    identical for any ``jobs`` value.
+    """
     testbed = PlanetLabTestbed(nodes=nodes)
-    series_list: List[Series] = []
     sweeps: List[Tuple[str, List[Tuple[str, RedundancyStrategy]]]] = [
         ("TR", [(f"k={k}", TraditionalRedundancy(k)) for k in ks]),
         ("PR", [(f"k={k}", ProgressiveRedundancy(k)) for k in ks]),
         ("IR", [(f"d={d}", IterativeRedundancy(d)) for d in ds]),
     ]
+    specs = []
+    points = []  # (series name, label, start, stop)
     for name, strategies in sweeps:
-        series = Series(name)
         for label, strategy in strategies:
-            reliabilities, costs, derived = [], [], []
-            problems_correct = 0
+            start = len(specs)
             for problem in range(problems):
-                report = run_volunteer(
-                    VolunteerConfig(
+                specs.append(
+                    VolunteerProblemSpec(
+                        seed=seed * 1_000 + problem,
                         strategy=strategy,
                         testbed=testbed,
                         sat_vars=sat_vars,
                         tasks=tasks,
-                        seed=seed * 1_000 + problem,
                     )
                 )
-                reliabilities.append(report.system_reliability)
-                costs.append(report.cost_factor)
-                if report.derived_reliability == report.derived_reliability:
-                    derived.append(report.derived_reliability)
-                if report.problem_correct:
-                    problems_correct += 1
+            points.append((name, label, start, len(specs)))
+    envelopes = run_volunteer_problems(specs, jobs=jobs)
+
+    series_list: List[Series] = []
+    for name, _ in sweeps:
+        series = Series(name)
+        for point_name, label, start, stop in points:
+            if point_name != name:
+                continue
+            metrics = [envelope.metrics for envelope in envelopes[start:stop]]
+            reliabilities = [m["reliability"] for m in metrics]
+            costs = [m["cost_factor"] for m in metrics]
+            derived = [
+                m["derived_reliability"]
+                for m in metrics
+                if m["derived_reliability"] is not None
+            ]
+            problems_correct = sum(1 for m in metrics if m["problem_correct"])
             series.add(
                 SeriesPoint(
                     label=label,
@@ -123,13 +142,14 @@ def render(result: ExperimentResult) -> str:
     )
 
 
-def main(scale: str = "default") -> str:
+def main(scale: str = "default", jobs: Optional[int] = 1) -> str:
     params = DEPLOYMENT_SCALES[scale]
     return render(
         compute(
             sat_vars=params["sat_vars"],
             tasks=params["tasks"],
             problems=params["problems"],
+            jobs=jobs,
         )
     )
 

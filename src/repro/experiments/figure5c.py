@@ -38,8 +38,15 @@ DEFAULT_GRID = tuple(round(0.55 + 0.025 * i, 3) for i in range(18))  # 0.55 .. 0
 def compute(
     r_grid: Sequence[float] = DEFAULT_GRID,
     k: int = DEFAULT_K,
+    *,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    """The analytic improvement curves."""
+    """The analytic improvement curves.
+
+    ``jobs`` is accepted for CLI uniformity; closed forms have nothing
+    to parallelise.
+    """
+    del jobs
     pr_series = Series("PR improvement")
     ir_series = Series("IR improvement")
     for r in r_grid:
@@ -65,6 +72,7 @@ def simulate_check(
     nodes: int = 500,
     replications: int = 2,
     seed: int = 7,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
     """Empirical spot-check of the improvement ratios at a few r values."""
     series = Series("simulated IR improvement")
@@ -78,6 +86,7 @@ def simulate_check(
             reliability=r,
             replications=replications,
             seed=seed,
+            jobs=jobs,
         )
         series.add(
             SeriesPoint(
@@ -115,10 +124,10 @@ def render(result: ExperimentResult) -> str:
     return render_table(result.title, ["series", "point", "improvement"], rows, result.notes)
 
 
-def main(scale: str = "default") -> str:
+def main(scale: str = "default", jobs: Optional[int] = 1) -> str:
     parts = [render(compute())]
     if scale != "smoke":
-        parts.append(render(simulate_check()))
+        parts.append(render(simulate_check(jobs=jobs)))
     return "\n\n".join(parts)
 
 

@@ -10,7 +10,7 @@ durations) is printed alongside.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
 from repro.core import analysis
@@ -19,9 +19,10 @@ from repro.experiments.common import (
     ExperimentResult,
     Series,
     SeriesPoint,
+    measurement_from_envelopes,
     render_table,
-    replicate_dca,
 )
+from repro.parallel import dca_replicate_specs, run_dca_replicates
 
 DEFAULT_R = 0.7
 DEFAULT_KS = (3, 7, 11, 15, 19, 25)
@@ -37,18 +38,23 @@ def compute(
     nodes: int = 1_000,
     replications: int = 3,
     seed: int = 5,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
-    """Measure response time per technique across the cost sweep."""
-    series_list: List[Series] = []
+    """Measure response time per technique across the cost sweep.
+
+    Like Figure 5(a), the full sweep is one flat spec list through the
+    parallel replication engine; ``jobs`` never changes the results.
+    """
     sweeps = [
         ("TR", "traditional", [(f"k={k}", k, lambda k=k: TraditionalRedundancy(k)) for k in ks]),
         ("PR", "progressive", [(f"k={k}", k, lambda k=k: ProgressiveRedundancy(k)) for k in ks]),
         ("IR", "iterative", [(f"d={d}", d, lambda d=d: IterativeRedundancy(d)) for d in ds]),
     ]
+    specs = []
+    points = []  # (series name, label, analytic response, start, stop)
     for name, model_name, configs in sweeps:
-        series = Series(name)
         for label, param, factory in configs:
-            measurement = replicate_dca(
+            point_specs = dca_replicate_specs(
                 factory,
                 tasks=tasks,
                 nodes=nodes,
@@ -56,16 +62,32 @@ def compute(
                 replications=replications,
                 seed=seed,
             )
+            start = len(specs)
+            specs.extend(point_specs)
+            points.append(
+                (
+                    name,
+                    label,
+                    analysis.expected_response_time(r, model_name, param),
+                    start,
+                    len(specs),
+                )
+            )
+    envelopes = run_dca_replicates(specs, jobs=jobs)
+
+    series_list: List[Series] = []
+    for name, _, _ in sweeps:
+        series = Series(name)
+        for point_name, label, analytic_response, start, stop in points:
+            if point_name != name:
+                continue
+            measurement = measurement_from_envelopes(envelopes[start:stop])
             series.add(
                 SeriesPoint(
                     label=label,
                     cost=measurement.mean_cost,
                     reliability=measurement.mean_response_time,
-                    extra={
-                        "analytic_response": analysis.expected_response_time(
-                            r, model_name, param
-                        ),
-                    },
+                    extra={"analytic_response": analytic_response},
                 )
             )
         series_list.append(series)
@@ -103,7 +125,11 @@ def render(result: ExperimentResult) -> str:
     )
 
 
-def main(scale: str = "default", r: float = DEFAULT_R) -> str:
+def main(
+    scale: str = "default",
+    r: float = DEFAULT_R,
+    jobs: Optional[int] = 1,
+) -> str:
     params = SCALES[scale]
     return render(
         compute(
@@ -111,6 +137,7 @@ def main(scale: str = "default", r: float = DEFAULT_R) -> str:
             tasks=params["tasks"],
             nodes=params["nodes"],
             replications=params["replications"],
+            jobs=jobs,
         )
     )
 

@@ -10,6 +10,8 @@ from the code.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core import IterativeRedundancy, ProgressiveRedundancy, TraditionalRedundancy
 
 
@@ -70,7 +72,8 @@ def figure2_schematic() -> str:
     )
 
 
-def main(scale: str = "default") -> str:
+def main(scale: str = "default", jobs: Optional[int] = None) -> str:
+    """Static schematics; ``jobs`` accepted for CLI uniformity."""
     return figure1_schematic() + "\n\n" + figure2_schematic()
 
 

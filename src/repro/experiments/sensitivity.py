@@ -16,7 +16,7 @@ Operators deploy elsewhere, so this harness maps the whole (r, d) and
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core import analysis
 from repro.core.confidence import required_margin
@@ -132,7 +132,9 @@ def render_all() -> str:
     return "\n\n".join(parts)
 
 
-def main(scale: str = "default") -> str:
+def main(scale: str = "default", jobs: Optional[int] = None) -> str:
+    """Scale and jobs are irrelevant for closed forms; accepted for CLI
+    uniformity."""
     return render_all()
 
 

@@ -16,7 +16,10 @@ from repro.lint.findings import Finding
 
 #: Packages whose code runs inside simulations (simulated time only) or on
 #: engine/server hot paths.  ``experiments`` and ``sat`` are deliberately
-#: excluded: plotting and file I/O may touch the wall clock.
+#: excluded: plotting and file I/O may touch the wall clock.  ``parallel``
+#: and ``bench`` are excluded too -- measuring worker wall-clock durations
+#: and benchmark timings is their purpose, and they never run *inside* a
+#: simulation.
 SIM_PACKAGES: FrozenSet[str] = frozenset(
     {"sim", "dca", "core", "volunteer", "grid", "replication", "mapreduce"}
 )
@@ -308,10 +311,17 @@ class NoMutableDefaultArgsRule(Rule):
 class RngStreamNameLiteralRule(Rule):
     """RL005: RNG stream names must be string literals, so the complete
     set of streams a simulation uses can be audited statically (grep for
-    ``.stream("``) and collisions spotted in review."""
+    ``.stream("``) and collisions spotted in review.
+
+    Literal-*prefixed* f-strings (``f"replicate:{index}"``) are accepted:
+    families of per-index streams are still auditable by their prefix,
+    and the parallel replication engine derives one spawn key per
+    replicate this way.  A fully dynamic name (``f"{name}"``, a variable,
+    a call) remains a finding.
+    """
 
     rule_id = "RL005"
-    summary = "RNG stream/spawn names must be string literals"
+    summary = "RNG stream/spawn names must be string literals (or literal-prefixed f-strings)"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -330,12 +340,26 @@ class RngStreamNameLiteralRule(Rule):
                 continue
             if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
                 continue
+            if self._literal_prefixed(name_arg):
+                continue
             yield self.finding(
                 module,
                 name_arg,
-                f".{node.func.attr}() name must be a string literal so the stream "
-                "set is statically auditable",
+                f".{node.func.attr}() name must be a string literal or a "
+                "literal-prefixed f-string so the stream set is statically auditable",
             )
+
+    @staticmethod
+    def _literal_prefixed(node: ast.AST) -> bool:
+        """True for f-strings whose first piece is a non-empty literal."""
+        if not isinstance(node, ast.JoinedStr) or not node.values:
+            return False
+        first = node.values[0]
+        return (
+            isinstance(first, ast.Constant)
+            and isinstance(first.value, str)
+            and first.value != ""
+        )
 
 
 @register

@@ -1,0 +1,75 @@
+"""Deterministic parallel replication engine.
+
+The experiment harnesses aggregate many *independent* simulation
+replicates (Figures 3, 5a-c, 6 and the ablations).  Because every
+replicate is a pure function of its spec -- strategy, scale, and a
+deterministically derived seed -- replicates can fan out over a process
+pool and still produce results byte-identical to a serial run:
+
+* :mod:`repro.parallel.seeds` derives one decorrelated seed per
+  replicate from the experiment's base seed via
+  :meth:`~repro.sim.rng.RngRegistry.spawn`;
+* :mod:`repro.parallel.engine` maps a picklable worker over the specs
+  with chunked, straggler-aware scheduling (``--jobs 1`` is the exact
+  legacy in-process serial path);
+* :mod:`repro.parallel.reducer` folds the per-replicate envelopes back
+  into means/standard errors in *spec order*, so aggregates never depend
+  on completion order;
+* :mod:`repro.parallel.dca` and :mod:`repro.parallel.volunteer` are the
+  substrate-specific workers used by :mod:`repro.experiments`.
+
+See ``docs/parallelism.md`` for the full design.
+"""
+
+from repro.parallel.dca import (
+    DcaReplicateSpec,
+    dca_replicate_specs,
+    run_dca_replicate,
+    run_dca_replicates,
+)
+from repro.parallel.engine import (
+    ReplicateError,
+    WorkerCrash,
+    default_chunk_size,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.parallel.envelope import ReplicateEnvelope, fingerprint_of
+from repro.parallel.reducer import (
+    MetricAggregate,
+    aggregate_metrics,
+    combined_fingerprint,
+    mean,
+    ordered,
+    stderr,
+)
+from repro.parallel.seeds import replicate_seeds
+from repro.parallel.volunteer import (
+    VolunteerProblemSpec,
+    run_volunteer_problem,
+    run_volunteer_problems,
+)
+
+__all__ = [
+    "DcaReplicateSpec",
+    "MetricAggregate",
+    "ReplicateEnvelope",
+    "ReplicateError",
+    "VolunteerProblemSpec",
+    "WorkerCrash",
+    "aggregate_metrics",
+    "combined_fingerprint",
+    "dca_replicate_specs",
+    "default_chunk_size",
+    "fingerprint_of",
+    "mean",
+    "ordered",
+    "parallel_map",
+    "replicate_seeds",
+    "resolve_jobs",
+    "run_dca_replicate",
+    "run_dca_replicates",
+    "run_volunteer_problem",
+    "run_volunteer_problems",
+    "stderr",
+]

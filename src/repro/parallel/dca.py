@@ -1,0 +1,146 @@
+"""DCA replicate worker: run one DES replicate, return an envelope.
+
+This is the substrate glue between :func:`repro.parallel.engine.parallel_map`
+and :func:`repro.dca.run_dca`.  The spec is a frozen, picklable value
+object; the worker rebuilds the full :class:`~repro.dca.config.DcaConfig`
+from it inside the (possibly remote) process, so no live simulation
+state ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.distributions import ReliabilityDistribution
+from repro.core.strategy import RedundancyStrategy
+from repro.dca import DcaConfig, run_dca
+from repro.parallel.engine import ReplicateError, parallel_map
+from repro.parallel.envelope import ReplicateEnvelope, fingerprint_of
+from repro.parallel.seeds import replicate_seeds
+
+
+@dataclass(frozen=True)
+class DcaReplicateSpec:
+    """Everything one DCA replicate needs, in picklable form.
+
+    The strategy is a *fresh instance* built by the caller's factory; it
+    is pickled to the worker (parallel) or used directly (serial), so
+    node-aware strategies start every replicate from a clean slate either
+    way.  ``overrides`` carries extra :class:`DcaConfig` fields as a
+    sorted tuple of pairs to keep the spec hashable.
+    """
+
+    seed: int
+    strategy: RedundancyStrategy
+    tasks: int
+    nodes: int
+    reliability: Union[float, ReliabilityDistribution]
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class _RawReplicate:
+    """What the worker ships back (position is attached by the parent)."""
+
+    seed: int
+    metrics: dict
+    fingerprint: str
+    duration: float
+    worker_pid: int
+
+
+def dca_replicate_specs(
+    strategy_factory: Callable[[], RedundancyStrategy],
+    *,
+    tasks: int,
+    nodes: int,
+    reliability: Union[float, ReliabilityDistribution],
+    replications: int,
+    seed: int,
+    **config_overrides: Any,
+) -> List[DcaReplicateSpec]:
+    """Build one spec per replicate with spawn-derived seeds."""
+    seeds = replicate_seeds(seed, replications)
+    overrides = tuple(sorted(config_overrides.items()))
+    return [
+        DcaReplicateSpec(
+            seed=replicate_seed,
+            strategy=strategy_factory(),
+            tasks=tasks,
+            nodes=nodes,
+            reliability=reliability,
+            overrides=overrides,
+        )
+        for replicate_seed in seeds
+    ]
+
+
+def run_dca_replicate(spec: DcaReplicateSpec) -> _RawReplicate:
+    """Execute one replicate (the module-level, picklable worker)."""
+    start = time.perf_counter()
+    # Deep-copy so serial runs match parallel ones (where pickling makes
+    # the copy) even if a caller shares one strategy across specs.
+    report = run_dca(
+        DcaConfig(
+            strategy=copy.deepcopy(spec.strategy),
+            tasks=spec.tasks,
+            nodes=spec.nodes,
+            reliability=spec.reliability,
+            seed=spec.seed,
+            **dict(spec.overrides),
+        )
+    )
+    metrics = report.as_dict()
+    return _RawReplicate(
+        seed=spec.seed,
+        metrics=metrics,
+        fingerprint=fingerprint_of(metrics),
+        duration=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_dca_replicates(
+    specs: Sequence[DcaReplicateSpec],
+    *,
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[ReplicateEnvelope]:
+    """Run DCA replicates (serial or fanned out) and envelope the results.
+
+    Raises:
+        ReplicateError: naming the failed replicate's position *and
+            seed* when any replicate crashes.
+    """
+    specs = list(specs)
+    try:
+        raws = parallel_map(
+            run_dca_replicate, specs, jobs=jobs, chunk_size=chunk_size
+        )
+    except ReplicateError as exc:
+        if 0 <= exc.position < len(specs):
+            failed = specs[exc.position]
+            raise ReplicateError(
+                f"replicate #{exc.position} (seed {failed.seed}, "
+                f"strategy {failed.strategy.describe()}) failed: "
+                f"{exc.error_type}: {exc}",
+                position=exc.position,
+                error_type=exc.error_type,
+                traceback_text=exc.traceback_text,
+            ) from exc
+        raise
+    return [
+        ReplicateEnvelope(
+            position=position,
+            seed=raw.seed,
+            metrics=raw.metrics,
+            fingerprint=raw.fingerprint,
+            duration=raw.duration,
+            worker_pid=raw.worker_pid,
+        )
+        for position, raw in enumerate(raws)
+    ]

@@ -1,0 +1,96 @@
+"""Ordered reduction of replicate envelopes.
+
+Aggregation happens in **position order** (the order the specs were
+submitted), never completion order, so means, standard errors, and
+fingerprints are identical for serial runs, parallel runs, and parallel
+runs whose workers finished in any permutation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.envelope import ReplicateEnvelope
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (ordinary left-to-right summation, order-fixed)."""
+    if not values:
+        raise ValueError("cannot average zero values")
+    return sum(values) / len(values)
+
+
+def stderr(values: Sequence[float]) -> float:
+    """Standard error of the mean; 0.0 for fewer than two values.
+
+    A single replicate carries no spread information, so its error bar
+    is zero -- not NaN and not a ZeroDivisionError.
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    centre = mean(values)
+    variance = sum((value - centre) ** 2 for value in values) / (n - 1)
+    return math.sqrt(variance / n)
+
+
+def ordered(envelopes: Sequence[ReplicateEnvelope]) -> List[ReplicateEnvelope]:
+    """Envelopes sorted by position (stable across completion orders)."""
+    return sorted(envelopes, key=lambda envelope: envelope.position)
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """Mean and standard error of one metric over the replicates."""
+
+    mean: float
+    stderr: float
+    count: int
+    values: Tuple[float, ...]
+
+
+def aggregate_metrics(
+    envelopes: Sequence[ReplicateEnvelope],
+    keys: Optional[Sequence[str]] = None,
+) -> Dict[str, MetricAggregate]:
+    """Aggregate numeric metrics across envelopes, in position order.
+
+    Args:
+        envelopes: Replicate envelopes (any order; re-sorted here).
+        keys: Metric names to aggregate; defaults to every key of the
+            first envelope whose value is an int or float.
+    """
+    if not envelopes:
+        raise ValueError("cannot aggregate zero envelopes")
+    by_position = ordered(envelopes)
+    if keys is None:
+        keys = [
+            key
+            for key, value in by_position[0].metrics.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        ]
+    out: Dict[str, MetricAggregate] = {}
+    for key in keys:
+        values = tuple(float(envelope.metrics[key]) for envelope in by_position)
+        out[key] = MetricAggregate(
+            mean=mean(values),
+            stderr=stderr(values),
+            count=len(values),
+            values=values,
+        )
+    return out
+
+
+def combined_fingerprint(envelopes: Sequence[ReplicateEnvelope]) -> str:
+    """One SHA-256 over all per-replicate fingerprints, in position order.
+
+    This is the checksum the benchmark harness compares between serial
+    and parallel runs: it is equal iff every replicate's metrics are.
+    """
+    digest = hashlib.sha256()
+    for envelope in ordered(envelopes):
+        digest.update(f"{envelope.position}:{envelope.fingerprint}\n".encode("ascii"))
+    return digest.hexdigest()

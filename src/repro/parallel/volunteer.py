@@ -1,0 +1,108 @@
+"""Volunteer-deployment worker: one 3-SAT problem per replicate.
+
+The Figure 5(b) study runs several independent problems per sweep point;
+each problem is a pure function of (strategy, testbed, shape, seed) and
+fans out exactly like a DCA replicate.  The worker deep-copies the
+strategy before running so serial and parallel execution see identical
+fresh state even when a caller shares one instance across specs.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.strategy import RedundancyStrategy
+from repro.parallel.engine import ReplicateError, parallel_map
+from repro.parallel.envelope import ReplicateEnvelope, fingerprint_of
+from repro.volunteer import PlanetLabTestbed, VolunteerConfig, run_volunteer
+
+
+@dataclass(frozen=True)
+class VolunteerProblemSpec:
+    """One volunteer problem run, in picklable form."""
+
+    seed: int
+    strategy: RedundancyStrategy
+    testbed: PlanetLabTestbed
+    sat_vars: int
+    tasks: int
+
+
+@dataclass(frozen=True)
+class _RawProblem:
+    seed: int
+    metrics: dict
+    fingerprint: str
+    duration: float
+    worker_pid: int
+
+
+def run_volunteer_problem(spec: VolunteerProblemSpec) -> _RawProblem:
+    """Execute one volunteer problem (module-level, picklable worker)."""
+    start = time.perf_counter()
+    report = run_volunteer(
+        VolunteerConfig(
+            strategy=copy.deepcopy(spec.strategy),
+            testbed=spec.testbed,
+            sat_vars=spec.sat_vars,
+            tasks=spec.tasks,
+            seed=spec.seed,
+        )
+    )
+    metrics = report.as_dict()
+    metrics["derived_reliability"] = (
+        report.derived_reliability
+        if not math.isnan(report.derived_reliability)
+        else None
+    )
+    metrics["problem_correct"] = report.problem_correct
+    metrics["deadline_misses"] = report.deadline_misses
+    return _RawProblem(
+        seed=spec.seed,
+        metrics=metrics,
+        fingerprint=fingerprint_of(metrics),
+        duration=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_volunteer_problems(
+    specs: Sequence[VolunteerProblemSpec],
+    *,
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[ReplicateEnvelope]:
+    """Run volunteer problems (serial or fanned out) into envelopes."""
+    specs = list(specs)
+    try:
+        raws = parallel_map(
+            run_volunteer_problem, specs, jobs=jobs, chunk_size=chunk_size
+        )
+    except ReplicateError as exc:
+        if 0 <= exc.position < len(specs):
+            failed = specs[exc.position]
+            raise ReplicateError(
+                f"volunteer problem #{exc.position} (seed {failed.seed}, "
+                f"strategy {failed.strategy.describe()}) failed: "
+                f"{exc.error_type}: {exc}",
+                position=exc.position,
+                error_type=exc.error_type,
+                traceback_text=exc.traceback_text,
+            ) from exc
+        raise
+    return [
+        ReplicateEnvelope(
+            position=position,
+            seed=raw.seed,
+            metrics=raw.metrics,
+            fingerprint=raw.fingerprint,
+            duration=raw.duration,
+            worker_pid=raw.worker_pid,
+        )
+        for position, raw in enumerate(raws)
+    ]

@@ -1,0 +1,110 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
+"""Tests for the benchmark harness: timing primitives, report schema,
+suite payloads, and the CLI's divergence gate."""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, SUITES, run_suite, time_callable, write_report
+from repro.bench.cli import main as bench_main
+from repro.bench.report import report_path
+
+
+class TestTiming:
+    def test_time_callable_counts_and_returns_value(self):
+        calls = []
+
+        def body():
+            calls.append(1)
+            return "value"
+
+        stats, value = time_callable(body, repeats=3, warmup=2)
+        assert value == "value"
+        assert len(calls) == 5
+        assert stats.repeats == 3
+        assert 0 <= stats.best <= stats.mean <= stats.total
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestReport:
+    def test_write_report_schema(self, tmp_path):
+        path = write_report(
+            "unit", {"seed": 0, "checksum": "abc"}, output_dir=tmp_path
+        )
+        assert path == report_path("unit", tmp_path)
+        assert path.name == "BENCH_unit.json"
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["suite"] == "unit"
+        assert document["seed"] == 0
+        assert document["checksum"] == "abc"
+        machine = document["machine"]
+        assert machine["python"] and machine["cpu_count"] >= 1
+
+
+class TestSuites:
+    def test_decide_loops_payload_deterministic(self):
+        first = run_suite("decide_loops", seed=1, quick=True, repeats=1)
+        second = run_suite("decide_loops", seed=1, quick=True, repeats=1)
+        assert first["checksum"] == second["checksum"]
+        assert set(first["results"]) == {
+            "iterative_d3",
+            "progressive_k7",
+            "traditional_k7",
+        }
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            run_suite("warp_drive")
+
+
+class TestCli:
+    def test_quick_run_writes_reports(self, tmp_path, capsys):
+        code = bench_main(
+            ["decide_loops", "sim_engine", "--quick", "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("decide_loops", "sim_engine"):
+            assert (tmp_path / f"BENCH_{name}.json").exists()
+            assert name in out
+
+    def test_figure_sweep_serial_parallel_agree(self, tmp_path):
+        code = bench_main(
+            ["figure_sweep", "--quick", "--jobs", "2", "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        document = json.loads((tmp_path / "BENCH_figure_sweep.json").read_text())
+        assert document["diverged"] is False
+        assert document["serial_checksum"] == document["parallel_checksum"]
+        assert document["results"]["speedup"] > 0
+
+    def test_divergence_is_a_failure(self, tmp_path, capsys, monkeypatch):
+        def fake_suite(**kwargs):
+            return {
+                "seed": 0,
+                "checksum": "aa",
+                "serial_checksum": "aa",
+                "parallel_checksum": "bb",
+                "diverged": True,
+                "results": {},
+            }
+
+        monkeypatch.setitem(SUITES, "fake_sweep", fake_suite)
+        code = bench_main(["fake_sweep", "--output-dir", str(tmp_path)])
+        assert code == 1
+        assert "diverged" in capsys.readouterr().err
+
+    def test_unknown_suite_exits_two(self, capsys):
+        assert bench_main(["warp_drive"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_list(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SUITES:
+            assert name in out

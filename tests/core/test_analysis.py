@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Tests for the closed-form analysis (Equations (1)-(6)) including the
 paper's worked examples and cross-checks between independent computations."""
 

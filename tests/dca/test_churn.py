@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Unit tests for the churn process in isolation."""
 
 import pytest

@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Tests for the CLI and the ablation studies."""
 
 import pytest
@@ -69,6 +70,29 @@ class TestCommon:
                 reliability=0.7,
                 replications=0,
             )
+
+    def test_single_replicate_has_zero_error_bars(self):
+        # Regression: one replicate must yield 0.0 standard errors (a
+        # defined, plottable value), never NaN or a ZeroDivisionError.
+        m = replicate_dca(
+            lambda: IterativeRedundancy(2),
+            tasks=100,
+            nodes=50,
+            reliability=0.8,
+            replications=1,
+            seed=3,
+        )
+        assert m.replications == 1
+        assert m.cost_err == 0.0
+        assert m.reliability_err == 0.0
+
+    def test_jobs_do_not_change_measurements(self):
+        kwargs = dict(
+            tasks=100, nodes=50, reliability=0.8, replications=2, seed=4
+        )
+        serial = replicate_dca(lambda: IterativeRedundancy(2), jobs=1, **kwargs)
+        fanned = replicate_dca(lambda: IterativeRedundancy(2), jobs=3, **kwargs)
+        assert serial == fanned
 
     def test_series_by_name(self):
         result = ExperimentResult("t", [Series("A"), Series("B")])
@@ -145,3 +169,19 @@ class TestCliJsonPlot:
     def test_plot_unavailable_message(self, capsys):
         assert cli_main(["examples", "--plot"]) == 0
         assert "no plot available" in capsys.readouterr().err
+
+
+class TestCliJobs:
+    def test_jobs_flag_output_byte_identical(self, capsys):
+        # The acceptance bar for the replication engine: the CLI's output
+        # is byte-identical whatever --jobs says.
+        assert cli_main(["figure3", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert cli_main(["figure3", "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_flag_reaches_simulation(self, capsys):
+        assert cli_main(["figure5a", "--scale", "smoke", "--jobs", "2"]) == 0
+        first = capsys.readouterr().out
+        assert cli_main(["figure5a", "--scale", "smoke", "--jobs", "1"]) == 0
+        assert capsys.readouterr().out == first

@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Tests that every experiment harness reproduces the paper's *shape*.
 
 These are the acceptance tests of the reproduction: each figure's

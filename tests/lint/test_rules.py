@@ -167,11 +167,32 @@ class TestRL004MutableDefaults:
 
 
 class TestRL005StreamNames:
-    def test_fstring_stream_name_flagged(self):
+    def test_fully_dynamic_fstring_flagged(self):
         findings = lint(
             """
             def wire(sim, site_id):
-                return sim.rng.stream(f"site-{site_id}")
+                return sim.rng.stream(f"{site_id}")
+            """
+        )
+        assert rule_ids(findings) == ["RL005"]
+
+    def test_literal_prefixed_fstring_legal(self):
+        # Families of per-index streams stay auditable by their prefix;
+        # the replication engine spawns `replicate:{i}` keys this way.
+        findings = lint(
+            """
+            def wire(sim, site_id, index):
+                sim.rng.stream(f"site-{site_id}")
+                return sim.rng.spawn(f"replicate:{index}")
+            """
+        )
+        assert findings == []
+
+    def test_empty_literal_prefix_flagged(self):
+        findings = lint(
+            """
+            def wire(sim, site_id):
+                return sim.rng.stream(f"{site_id}-site")
             """
         )
         assert rule_ids(findings) == ["RL005"]

@@ -7,6 +7,7 @@ import repro
 from repro.lint import LintEngine
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def test_src_repro_lints_clean():
@@ -18,3 +19,14 @@ def test_src_repro_lints_clean():
     # should be roughly all there is.
     assert engine.suppressed_count <= 6
     assert engine.files_checked > 50
+
+
+def test_tests_and_benchmarks_lint_clean():
+    # Same bar for the test and benchmark trees; their exact-equality
+    # asserts carry file-level RL003 disables with stated justification.
+    engine = LintEngine()
+    findings = engine.lint_paths(
+        [str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")]
+    )
+    assert findings == [], "\n".join(f.format() for f in findings)
+    assert engine.files_checked > 30

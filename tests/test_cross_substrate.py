@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """Cross-substrate agreement: the same strategy must measure the same on
 all three execution substrates.
 

@@ -21,6 +21,8 @@ PACKAGES = [
     "repro.mapreduce",
     "repro.replication",
     "repro.experiments",
+    "repro.parallel",
+    "repro.bench",
 ]
 
 

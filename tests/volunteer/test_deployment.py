@@ -1,3 +1,4 @@
+# reprolint: disable-file=RL003 -- tests assert exact values of seeded, deterministic computations on purpose
 """End-to-end tests of the volunteer deployment harness."""
 
 import math
