@@ -8,17 +8,34 @@ Two complementary halves:
   simulation code, dynamic RNG stream names -- plus classic correctness
   traps (mutable defaults, float ``==`` on probabilities, swallowed
   exceptions on hot paths);
+* a whole-program pass (``repro-lint --project``; :mod:`repro.lint.graph`,
+  :mod:`repro.lint.callgraph`, :mod:`repro.lint.project_rules`) that sees
+  *between* modules: layering violations and import cycles, unpicklable
+  pool workers, shared mutable state reachable from workers, unordered
+  set iteration feeding reductions, RNG-stream provenance leaks, and
+  ``__init__`` export drift (RL101-RL106);
 * a runtime sanitizer (:mod:`repro.lint.sanitizer`) that replays a
   simulation from the same seed and pinpoints the first diverging trace
-  event when the static rules missed something.
+  event when the static rules missed something -- with runners for the
+  DCA, grid, and MapReduce substrates.
 
 Run the linter with ``python -m repro.lint [paths]`` or the
 ``repro-lint`` console script; see ``docs/linting.md``.
 """
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import LintEngine, ModuleContext, Rule, register, registered_rules
 from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ImportGraph, find_package_root, load_project
+from repro.lint.project import ProjectReport, lint_project
+from repro.lint.project_rules import (
+    ALLOWED_IMPORTS,
+    ProjectContext,
+    ProjectRule,
+    register_project,
+    registered_project_rules,
+)
 from repro.lint.sanitizer import (
     DeterminismError,
     DeterminismSanitizer,
@@ -26,26 +43,50 @@ from repro.lint.sanitizer import (
     SanitizerReport,
     dca_runner,
     diff_captures,
+    grid_runner,
+    mapreduce_runner,
     sanitize_dca,
+    sanitize_grid,
+    sanitize_mapreduce,
     trace_fingerprint,
 )
+from repro.lint.sarif import render_sarif, sarif_log
 
 __all__ = [
+    "ALLOWED_IMPORTS",
     "DeterminismError",
     "DeterminismSanitizer",
     "Divergence",
     "Finding",
+    "ImportGraph",
     "LintConfig",
     "LintEngine",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectReport",
+    "ProjectRule",
     "Rule",
     "SanitizerReport",
     "Severity",
+    "apply_baseline",
     "dca_runner",
     "diff_captures",
+    "find_package_root",
+    "grid_runner",
+    "lint_project",
+    "load_baseline",
     "load_config",
+    "load_project",
+    "mapreduce_runner",
     "register",
+    "register_project",
+    "registered_project_rules",
     "registered_rules",
+    "render_sarif",
     "sanitize_dca",
+    "sanitize_grid",
+    "sanitize_mapreduce",
+    "sarif_log",
     "trace_fingerprint",
+    "write_baseline",
 ]

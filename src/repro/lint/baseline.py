@@ -1,0 +1,103 @@
+"""The findings baseline: adopt a rule without boiling the ocean.
+
+A committed ``.reprolint-baseline.json`` records the fingerprints of
+known, not-yet-fixed findings.  Baselined findings are reported as
+suppressed instead of failing the run, so a new rule can land with the
+tree still red in places -- but *new* findings always fail, and fixed
+findings turn their baseline entries stale (visible in the summary), so
+the count only ratchets down.  ``--update-baseline`` rewrites the file
+from the current findings.
+
+Fingerprints deliberately exclude line numbers: moving code must not
+churn the baseline.  Identical (path, rule, message) findings are
+disambiguated by occurrence index within the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+def _normalized_path(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def finding_fingerprints(findings: Sequence[Finding]) -> List[Tuple[str, Finding]]:
+    """Stable (fingerprint, finding) pairs; line numbers excluded."""
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[str, Finding]] = []
+    for finding in sorted(findings):
+        key = (_normalized_path(finding.path), finding.rule_id, finding.message)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            "\t".join((*key, str(index))).encode("utf-8")
+        ).hexdigest()[:16]
+        out.append((digest, finding))
+    return out
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The fingerprints recorded in a baseline file.
+
+    Raises:
+        ValueError: if the file is not a recognisable baseline document.
+    """
+    document = json.loads(path.read_text(encoding="utf-8"))
+    schema = document.get("schema") if isinstance(document, dict) else None
+    if schema != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a reprolint baseline (expected schema "
+            f"{BASELINE_SCHEMA!r}, got {schema!r})"
+        )
+    entries = document.get("entries", [])
+    return {
+        entry["fingerprint"]
+        for entry in entries
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], int, int]:
+    """Split findings against a baseline.
+
+    Returns:
+        (new findings, baselined count, stale entry count) -- stale
+        entries are baseline fingerprints no current finding matches,
+        i.e. findings that have been fixed and can be dropped from the
+        file with ``--update-baseline``.
+    """
+    kept: List[Finding] = []
+    matched: Set[str] = set()
+    for fingerprint, finding in finding_fingerprints(findings):
+        if fingerprint in baseline:
+            matched.add(fingerprint)
+        else:
+            kept.append(finding)
+    return kept, len(matched), len(baseline - matched)
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> int:
+    """Write a baseline covering ``findings``; returns the entry count."""
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "path": _normalized_path(finding.path),
+            "rule": finding.rule_id,
+            "message": finding.message,
+        }
+        for fingerprint, finding in finding_fingerprints(findings)
+    ]
+    document = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,5 +1,19 @@
 """Command-line entry point: ``python -m repro.lint`` / ``repro-lint``.
 
+Two modes:
+
+* **per-file** (default): run the RL0xx rules over the given paths;
+* **project** (``--project``): additionally build the import graph and
+  call graph over the ``repro`` package and run the whole-program RL1xx
+  rules, with per-file linting fanned out over ``--jobs`` worker
+  processes via :func:`repro.parallel.parallel_map`.
+
+Output formats (``--output`` / legacy ``-f/--format``): ``text``,
+``json`` (schema-versioned payload), and ``sarif`` (SARIF 2.1.0, for CI
+annotation upload).  A committed baseline file
+(``.reprolint-baseline.json``) can absorb known findings so rules adopt
+incrementally; see ``--baseline`` / ``--update-baseline``.
+
 Exit codes: 0 = clean, 1 = error-severity findings, 2 = usage error.
 """
 
@@ -9,13 +23,25 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import LintEngine, registered_rules
 from repro.lint.findings import Finding, Severity
+from repro.lint.project import ProjectReport, lint_project
+from repro.lint.project_rules import registered_project_rules
+from repro.lint.sarif import render_sarif
 
-JSON_SCHEMA_VERSION = 1
+#: Bump on any incompatible change to the ``--output json`` payload.
+JSON_SCHEMA_VERSION = 2
+#: The ``schema`` field of the JSON payload (BENCH_*.json convention).
+JSON_SCHEMA = f"repro-lint-report/{JSON_SCHEMA_VERSION}"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,9 +57,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-f",
         "--format",
-        choices=("text", "json"),
+        "--output",
+        dest="format",
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program mode: run the RL1xx cross-module rules too",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for per-file linting in --project mode "
+        "(default: 1; output is byte-identical for any N)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of known findings to tolerate "
+        f"(default in --project mode: {DEFAULT_BASELINE_NAME} next to pyproject.toml)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
     )
     parser.add_argument(
         "--select",
@@ -78,44 +131,108 @@ def _resolve_config(args: argparse.Namespace) -> LintConfig:
     return config
 
 
-def _render_text(findings: List[Finding], engine: LintEngine) -> str:
+def _tool_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+def _render_text(
+    findings: List[Finding],
+    files_checked: int,
+    suppressed: int,
+    *,
+    baselined: int = 0,
+    stale_baseline: int = 0,
+) -> str:
     lines = [finding.format() for finding in findings]
     errors = sum(1 for f in findings if f.severity is Severity.ERROR)
     warnings = len(findings) - errors
-    lines.append(
-        f"{engine.files_checked} file(s) checked: "
+    summary = (
+        f"{files_checked} file(s) checked: "
         f"{errors} error(s), {warnings} warning(s), "
-        f"{engine.suppressed_count} suppressed"
+        f"{suppressed} suppressed"
     )
+    if baselined or stale_baseline:
+        summary += f", {baselined} baselined"
+        if stale_baseline:
+            summary += (
+                f", {stale_baseline} stale baseline entr"
+                f"{'y' if stale_baseline == 1 else 'ies'} (run --update-baseline)"
+            )
+    lines.append(summary)
     return "\n".join(lines)
 
 
-def _render_json(findings: List[Finding], engine: LintEngine) -> str:
+def _render_json(
+    findings: List[Finding],
+    files_checked: int,
+    suppressed: int,
+    *,
+    baselined: int = 0,
+    stale_baseline: int = 0,
+) -> str:
     summary: Dict[str, int] = {}
     for finding in findings:
         summary[finding.rule_id] = summary.get(finding.rule_id, 0) + 1
     payload = {
+        "schema": JSON_SCHEMA,
         "version": JSON_SCHEMA_VERSION,
-        "files_checked": engine.files_checked,
-        "suppressed": engine.suppressed_count,
+        "files_checked": files_checked,
+        "suppressed": suppressed,
+        "baselined": baselined,
+        "stale_baseline": stale_baseline,
         "findings": [finding.as_dict() for finding in findings],
         "summary": summary,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _rule_metadata(rule_ids: Sequence[str]) -> List[Tuple[str, str, Severity]]:
+    registry: Dict[str, type] = {}
+    registry.update(registered_rules())
+    registry.update(registered_project_rules())
+    return [
+        (rule_id, registry[rule_id].summary, registry[rule_id].severity)
+        for rule_id in sorted(rule_ids)
+        if rule_id in registry
+    ]
+
+
+def _default_baseline(args: argparse.Namespace, config: LintConfig) -> Optional[Path]:
+    """The baseline path: explicit flag, else (project mode only) the
+    conventional file next to the resolved pyproject.toml."""
+    if args.baseline:
+        return Path(args.baseline)
+    if not args.project and not args.update_baseline:
+        return None
+    if config.source != "<defaults>":
+        candidate = Path(config.source).parent / DEFAULT_BASELINE_NAME
+    else:
+        candidate = Path(DEFAULT_BASELINE_NAME)
+    if candidate.is_file() or args.update_baseline:
+        return candidate
+    return None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    registry = registered_rules()
+    file_registry = registered_rules()
+    project_registry = registered_project_rules()
     if args.list_rules:
-        for rule_id, cls in sorted(registry.items()):
-            print(f"{rule_id}  [{cls.severity.value}]  {cls.summary}")
+        combined = {**file_registry, **project_registry}
+        for rule_id, cls in sorted(combined.items()):
+            scope = "project" if rule_id in project_registry else "file"
+            print(f"{rule_id}  [{cls.severity.value}]  [{scope}]  {cls.summary}")
         return 0
 
     if args.select is not None and not _split_rules(args.select):
         print("repro-lint: --select got no rule ids", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"repro-lint: --jobs must be positive, got {args.jobs}", file=sys.stderr)
         return 2
 
     try:
@@ -124,17 +241,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
+    known_ids: Set[str] = set(file_registry)
+    if args.project:
+        known_ids |= set(project_registry)
     unknown = [
         rule_id
         for rule_id in (config.enable or []) + list(config.disable)
-        if rule_id not in registry
+        if rule_id not in known_ids
     ]
     if unknown:
-        print(f"repro-lint: unknown rule id(s): {', '.join(sorted(set(unknown)))}", file=sys.stderr)
+        print(
+            f"repro-lint: unknown rule id(s): {', '.join(sorted(set(unknown)))}"
+            + ("" if args.project else " (RL1xx rules need --project)"),
+            file=sys.stderr,
+        )
         return 2
 
-    rule_ids = config.selected_rule_ids(sorted(registry))
-    engine = LintEngine(rules=[registry[rule_id]() for rule_id in rule_ids])
+    selected = config.selected_rule_ids(sorted(known_ids))
+    file_rule_ids = [rule_id for rule_id in selected if rule_id in file_registry]
+    project_rule_ids = [rule_id for rule_id in selected if rule_id in project_registry]
 
     paths = list(args.paths) or list(config.paths)
     missing = [path for path in paths if not Path(path).exists()]
@@ -142,11 +267,79 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-lint: path(s) not found: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    findings = engine.lint_paths(paths)
-    if args.format == "json":
-        print(_render_json(findings, engine))
+    if args.project:
+        report = lint_project(
+            paths,
+            rule_ids=file_rule_ids,
+            project_rule_ids=project_rule_ids,
+            jobs=args.jobs,
+        )
+        if project_rule_ids and not report.analyzed_project:
+            print(
+                "repro-lint: --project found no importable 'repro' package "
+                "under the given paths; RL1xx rules were skipped",
+                file=sys.stderr,
+            )
     else:
-        print(_render_text(findings, engine))
+        engine = LintEngine(
+            rules=[file_registry[rule_id]() for rule_id in file_rule_ids]
+        )
+        findings = engine.lint_paths(paths)
+        report = ProjectReport(
+            findings=findings,
+            files_checked=engine.files_checked,
+            suppressed=engine.suppressed_count,
+        )
+
+    baseline_path = _default_baseline(args, config)
+    if args.update_baseline:
+        if baseline_path is None:
+            baseline_path = Path(DEFAULT_BASELINE_NAME)
+        count = write_baseline(report.findings, baseline_path)
+        print(
+            f"repro-lint: wrote {count} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    findings = report.findings
+    baselined = stale = 0
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined, stale = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(
+            _render_json(
+                findings,
+                report.files_checked,
+                report.suppressed,
+                baselined=baselined,
+                stale_baseline=stale,
+            )
+        )
+    elif args.format == "sarif":
+        print(
+            render_sarif(
+                findings,
+                _rule_metadata(selected),
+                tool_version=_tool_version(),
+            )
+        )
+    else:
+        print(
+            _render_text(
+                findings,
+                report.files_checked,
+                report.suppressed,
+                baselined=baselined,
+                stale_baseline=stale,
+            )
+        )
     has_errors = any(f.severity is Severity.ERROR for f in findings)
     return 1 if has_errors else 0
 

@@ -27,6 +27,9 @@ from repro.lint.findings import Finding, Severity
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
 #: Whole-file suppression: ``# reprolint: disable-file=RL005`` anywhere.
 _SUPPRESS_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Z0-9,\s]+)")
+#: Next-line suppression: ``# reprolint: disable-next-line=RL001`` silences
+#: the following physical line (useful when the offending line has no room).
+_SUPPRESS_NEXT_RE = re.compile(r"#\s*reprolint:\s*disable-next-line=([A-Z0-9,\s]+)")
 _RULE_ID_RE = re.compile(r"RL\d{3}")
 
 #: Rule id used for files that fail to parse (not a registered rule).
@@ -129,6 +132,10 @@ def suppressions(source: str) -> Dict[int, Set[str]]:
         match = _SUPPRESS_FILE_RE.search(line)
         if match:
             out.setdefault(0, set()).update(_RULE_ID_RE.findall(match.group(1)))
+            continue
+        match = _SUPPRESS_NEXT_RE.search(line)
+        if match:
+            out.setdefault(lineno + 1, set()).update(_RULE_ID_RE.findall(match.group(1)))
             continue
         match = _SUPPRESS_RE.search(line)
         if match:

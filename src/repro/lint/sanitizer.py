@@ -25,8 +25,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dca.config import DcaConfig
+from repro.dca.report import DcaReport
 from repro.dca.simulation import DcaSimulation
-from repro.dca.tracing import TraceEvent, TraceLog, instrument_server
+from repro.dca.tracing import DECIDE, TraceEvent, TraceLog, instrument_server
+from repro.grid.run import GridConfig, run_grid
+from repro.mapreduce.engine import MapReduceJob, run_mapreduce
 
 #: One run's observable outcome: the trace stream and the final metrics.
 RunCapture = Tuple[Sequence[TraceEvent], Mapping[str, Any]]
@@ -197,3 +200,106 @@ def sanitize_dca(
     """Run a DCA simulation ``runs`` times and diff traces and metrics."""
     sanitizer = DeterminismSanitizer(dca_runner(config, trace_capacity=trace_capacity), runs=runs)
     return sanitizer.check()
+
+
+def _record_events(report: DcaReport) -> List[TraceEvent]:
+    """Synthetic DECIDE events from a report's per-task records.
+
+    The grid and MapReduce substrates drive their simulations internally,
+    so there is no server to instrument; the per-task records carry
+    enough of the outcome (value, cost, timing) that byte-comparing them
+    as trace events catches any replay divergence in decision, ordering,
+    scheduling, or timing.
+    """
+    return [
+        TraceEvent(
+            time=record.turnaround,
+            kind=DECIDE,
+            task_id=record.task_id,
+            detail={
+                "value": record.value,
+                "correct": record.correct,
+                "jobs_used": record.jobs_used,
+                "waves": record.waves,
+                "response_time": record.response_time,
+            },
+        )
+        for record in report.records
+    ]
+
+
+def grid_runner(config: GridConfig) -> Runner:
+    """A sanitizer runner for one grid configuration.
+
+    The config (strategy included) is deep-copied per run so stateful
+    strategies cannot smuggle reputation between replays.
+    """
+
+    def run() -> RunCapture:
+        report = run_grid(copy.deepcopy(config))
+        return _record_events(report), report.as_dict()
+
+    return run
+
+
+def sanitize_grid(config: GridConfig, *, runs: int = 2) -> SanitizerReport:
+    """Run a grid computation ``runs`` times and diff records and metrics."""
+    return DeterminismSanitizer(grid_runner(config), runs=runs).check()
+
+
+def mapreduce_runner(
+    job: MapReduceJob,
+    strategy,
+    *,
+    nodes: int = 200,
+    reliability=0.7,
+    seed: int = 0,
+    **config_overrides,
+) -> Runner:
+    """A sanitizer runner for one MapReduce job (args as
+    :func:`repro.mapreduce.engine.run_mapreduce`).
+
+    Job and strategy are deep-copied per run: the engine reuses the
+    strategy object across chunks, so shared state would otherwise leak
+    between replays and mask (or fake) nondeterminism.
+    """
+
+    def run() -> RunCapture:
+        report = run_mapreduce(
+            copy.deepcopy(job),
+            copy.deepcopy(strategy),
+            nodes=nodes,
+            reliability=reliability,
+            seed=seed,
+            **copy.deepcopy(config_overrides),
+        )
+        metrics = dict(report.map_report.as_dict())
+        metrics["correct"] = report.correct
+        metrics["corrupted_chunks"] = report.corrupted_chunks
+        metrics["output"] = dict(report.output)
+        return _record_events(report.map_report), metrics
+
+    return run
+
+
+def sanitize_mapreduce(
+    job: MapReduceJob,
+    strategy,
+    *,
+    runs: int = 2,
+    nodes: int = 200,
+    reliability=0.7,
+    seed: int = 0,
+    **config_overrides,
+) -> SanitizerReport:
+    """Run a MapReduce job ``runs`` times and diff map records, output,
+    and metrics."""
+    runner = mapreduce_runner(
+        job,
+        strategy,
+        nodes=nodes,
+        reliability=reliability,
+        seed=seed,
+        **config_overrides,
+    )
+    return DeterminismSanitizer(runner, runs=runs).check()

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 output for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code hosts
+ingest to render findings as inline annotations; CI uploads the file
+produced here so a layering violation shows up on the offending import
+line of the pull request.  The emitter is deliberately minimal -- one
+run, one driver, one location per result -- and byte-deterministic:
+results are sorted and serialised with sorted keys, so ``--jobs N``
+output is identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "reprolint"
+TOOL_URI = "https://github.com/repro/repro/blob/main/docs/linting.md"
+
+#: ``Severity`` -> SARIF ``level``.
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _artifact_uri(path: str) -> str:
+    """A forward-slash, preferably repo-relative URI for ``path``."""
+    candidate = Path(path)
+    try:
+        candidate = candidate.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return candidate.as_posix()
+
+
+def sarif_rules(rule_metadata: Sequence[Tuple[str, str, Severity]]) -> List[dict]:
+    """``tool.driver.rules`` entries from (id, summary, severity) triples."""
+    return [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": summary or rule_id},
+            "defaultConfiguration": {"level": _LEVELS[severity]},
+            "helpUri": TOOL_URI,
+        }
+        for rule_id, summary, severity in rule_metadata
+    ]
+
+
+def sarif_log(
+    findings: Sequence[Finding],
+    rule_metadata: Sequence[Tuple[str, str, Severity]],
+    *,
+    tool_version: str = "0",
+) -> dict:
+    """The SARIF log document as a plain dict."""
+    rule_index: Dict[str, int] = {
+        rule_id: index for index, (rule_id, _, _) in enumerate(rule_metadata)
+    }
+    results = []
+    for finding in sorted(findings):
+        result = {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _artifact_uri(finding.path)},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": TOOL_URI,
+                        "rules": sarif_rules(rule_metadata),
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rule_metadata: Sequence[Tuple[str, str, Severity]],
+    *,
+    tool_version: str = "0",
+) -> str:
+    """Serialise the SARIF log deterministically."""
+    return json.dumps(
+        sarif_log(findings, rule_metadata, tool_version=tool_version),
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,116 @@
+"""Baseline ratchet: fingerprints survive line moves, new findings stay
+fatal, fixed findings surface as stale entries, and the document is
+schema-checked on load."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    finding_fingerprints,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding, Severity
+
+
+def finding(path="src/repro/core/x.py", line=10, rule="RL101", message="boom"):
+    return Finding(
+        path=path,
+        line=line,
+        col=1,
+        rule_id=rule,
+        severity=Severity.ERROR,
+        message=message,
+    )
+
+
+class TestFingerprints:
+    def test_stable_under_line_moves(self):
+        before = finding_fingerprints([finding(line=10)])
+        after = finding_fingerprints([finding(line=99)])
+        assert before[0][0] == after[0][0]
+
+    def test_distinct_per_rule_path_message(self):
+        prints = {
+            fp
+            for fp, _ in finding_fingerprints(
+                [
+                    finding(),
+                    finding(rule="RL102"),
+                    finding(path="src/repro/core/y.py"),
+                    finding(message="other"),
+                ]
+            )
+        }
+        assert len(prints) == 4
+
+    def test_identical_findings_disambiguated_by_occurrence(self):
+        pairs = finding_fingerprints([finding(line=10), finding(line=20)])
+        assert len({fp for fp, _ in pairs}) == 2
+
+    def test_occurrence_indexing_is_order_independent(self):
+        forward = {fp for fp, _ in finding_fingerprints([finding(line=10), finding(line=20)])}
+        backward = {fp for fp, _ in finding_fingerprints([finding(line=20), finding(line=10)])}
+        assert forward == backward
+
+
+class TestApply:
+    def test_baselined_findings_are_dropped(self):
+        known = finding()
+        baseline = {finding_fingerprints([known])[0][0]}
+        kept, baselined, stale = apply_baseline([known], baseline)
+        assert kept == []
+        assert baselined == 1
+        assert stale == 0
+
+    def test_new_findings_survive(self):
+        known = finding()
+        fresh = finding(rule="RL103")
+        baseline = {finding_fingerprints([known])[0][0]}
+        kept, baselined, stale = apply_baseline([known, fresh], baseline)
+        assert kept == [fresh]
+        assert baselined == 1
+        assert stale == 0
+
+    def test_fixed_findings_turn_entries_stale(self):
+        known = finding()
+        baseline = {finding_fingerprints([known])[0][0]}
+        kept, baselined, stale = apply_baseline([], baseline)
+        assert kept == []
+        assert baselined == 0
+        assert stale == 1
+
+
+class TestDocument:
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [finding(), finding(rule="RL104")]
+        assert write_baseline(findings, path) == 2
+        loaded = load_baseline(path)
+        assert loaded == {fp for fp, _ in finding_fingerprints(findings)}
+        document = json.loads(path.read_text())
+        assert document["schema"] == BASELINE_SCHEMA
+        entry = document["entries"][0]
+        assert set(entry) == {"fingerprint", "path", "rule", "message"}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": "other/1", "entries": []}))
+        with pytest.raises(ValueError, match="not a reprolint baseline"):
+            load_baseline(path)
+
+    def test_load_rejects_non_document(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(["nope"]))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_write_is_deterministic(self, tmp_path):
+        findings = [finding(), finding(rule="RL104")]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(findings, a)
+        write_baseline(list(reversed(findings)), b)
+        assert a.read_text() == b.read_text()

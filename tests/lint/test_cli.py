@@ -1,10 +1,12 @@
-"""CLI behaviour: exit codes, text/JSON output, rule selection, and the
+"""CLI behaviour: exit codes, text/JSON/SARIF output, rule selection,
+project mode (``--project``/``--jobs``), the baseline ratchet, and the
 ``[tool.reprolint]`` config table (including the no-tomllib fallback)."""
 
 import json
 import textwrap
 
-from repro.lint.cli import JSON_SCHEMA_VERSION, main
+from repro.lint.baseline import BASELINE_SCHEMA
+from repro.lint.cli import JSON_SCHEMA, JSON_SCHEMA_VERSION, main
 from repro.lint.config import LintConfig, _fallback_parse, load_config
 
 CLEAN = 'GREETING = "hello"\n'
@@ -52,6 +54,7 @@ class TestOutputFormats:
         path = write(tmp_path, "bad.py", VIOLATING)
         assert main(["--format", "json", str(path)]) == 1
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == JSON_SCHEMA
         assert payload["version"] == JSON_SCHEMA_VERSION
         assert payload["files_checked"] == 1
         assert payload["suppressed"] == 0
@@ -73,6 +76,23 @@ class TestOutputFormats:
         out = capsys.readouterr().out
         for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
             assert rule_id in out
+        # Project rules are listed too, tagged with their scope.
+        for rule_id in ("RL101", "RL102", "RL103", "RL104", "RL105", "RL106"):
+            assert rule_id in out
+        assert "[project]" in out and "[file]" in out
+
+    def test_sarif_output(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", VIOLATING)
+        assert main(["--output", "sarif", str(path)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "RL001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 5
 
 
 class TestRuleSelection:
@@ -146,3 +166,101 @@ class TestConfigTable:
     def test_selected_rule_ids_resolution(self):
         config = LintConfig(enable=["RL001", "RL003"], disable=["RL003"])
         assert config.selected_rule_ids(["RL001", "RL002", "RL003"]) == ["RL001"]
+
+
+def write_mini_package(tmp_path, violating=True):
+    """A tiny ``repro`` package; ``violating`` adds a layering breach."""
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "dca").mkdir()
+    (root / "__init__.py").touch()
+    (root / "core" / "__init__.py").touch()
+    (root / "dca" / "__init__.py").touch()
+    (root / "dca" / "config.py").write_text("LIMIT = 3\n", encoding="utf-8")
+    body = "from repro.dca import config\n" if violating else "X = 1\n"
+    (root / "core" / "user.py").write_text(body, encoding="utf-8")
+    return root
+
+
+class TestProjectMode:
+    def test_layering_violation_exits_one(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        assert main(["--project", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "RL101" in out
+        assert "layering violation" in out
+
+    def test_clean_package_exits_zero(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path, violating=False)
+        assert main(["--project", str(root)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_project_rules_need_project_flag(self, tmp_path, capsys):
+        # Without --project, RL1xx ids are unknown (and the hint says so).
+        root = write_mini_package(tmp_path)
+        assert main(["--select", "RL101", str(root)]) == 2
+        assert "--project" in capsys.readouterr().err
+
+    def test_without_project_flag_layering_unchecked(self, tmp_path):
+        root = write_mini_package(tmp_path)
+        assert main([str(root)]) == 0
+
+    def test_jobs_output_byte_identical(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        assert main(["--project", "--jobs", "1", "--output", "json", str(root)]) == 1
+        serial = capsys.readouterr().out
+        assert main(["--project", "--jobs", "2", "--output", "json", str(root)]) == 1
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_nonpositive_jobs_exits_two(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        assert main(["--project", "--jobs", "0", str(root)]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_missing_package_warns_but_runs_file_rules(self, tmp_path, capsys):
+        path = write(tmp_path, "loose.py", CLEAN)
+        assert main(["--project", str(path)]) == 0
+        assert "no importable 'repro' package" in capsys.readouterr().err
+
+
+class TestBaseline:
+    def test_update_then_lint_is_green(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--project", "--update-baseline", "--baseline", str(baseline), str(root)]) == 0
+        assert "wrote 1 finding(s)" in capsys.readouterr().err
+        document = json.loads(baseline.read_text())
+        assert document["schema"] == BASELINE_SCHEMA
+        assert len(document["entries"]) == 1
+        # The baselined finding no longer fails the run...
+        assert main(["--project", "--baseline", str(baseline), str(root)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_still_fails(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--project", "--update-baseline", "--baseline", str(baseline), str(root)]) == 0
+        capsys.readouterr()
+        (root / "core" / "worse.py").write_text(
+            "from repro.dca import config as c2\n", encoding="utf-8"
+        )
+        assert main(["--project", "--baseline", str(baseline), str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out
+
+    def test_fixed_finding_reported_stale(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--project", "--update-baseline", "--baseline", str(baseline), str(root)]) == 0
+        capsys.readouterr()
+        (root / "core" / "user.py").write_text("X = 1\n", encoding="utf-8")
+        assert main(["--project", "--baseline", str(baseline), str(root)]) == 0
+        assert "1 stale baseline entry" in capsys.readouterr().out
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema": "other/9"}), encoding="utf-8")
+        assert main(["--project", "--baseline", str(baseline), str(root)]) == 2
+        assert "not a reprolint baseline" in capsys.readouterr().err

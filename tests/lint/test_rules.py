@@ -310,6 +310,45 @@ class TestSuppression:
         )
         assert findings == []
 
+    def test_disable_next_line_silences_following_line_only(self):
+        engine = LintEngine()
+        findings = engine.lint_source(
+            textwrap.dedent(
+                """
+                import random
+
+                # reprolint: disable-next-line=RL001
+                a = random.random()
+                b = random.random()
+                """
+            ),
+            "repro/sim/fixture.py",
+        )
+        assert [f.line for f in findings] == [6]
+        assert engine.suppressed_count == 1
+
+    def test_disable_next_line_takes_multiple_rules(self):
+        findings = lint(
+            """
+            import random
+
+            # reprolint: disable-next-line=RL001, RL004
+            def f(items=[], p=random.random()):
+                return items, p
+            """
+        )
+        assert findings == []
+
+    def test_disable_next_line_does_not_silence_its_own_line(self):
+        findings = lint(
+            """
+            import random
+
+            a = random.random()  # reprolint: disable-next-line=RL001
+            """
+        )
+        assert rule_ids(findings) == ["RL001"]
+
 
 class TestEngineBasics:
     def test_syntax_error_becomes_rl000_finding(self):

@@ -1,10 +1,11 @@
 """The shipped tree must satisfy its own invariants: linting ``src/repro``
-produces zero findings (suppressions with stated justifications aside)."""
+produces zero findings (suppressions with stated justifications aside),
+per-file and whole-program alike -- the self-linting pipeline CI runs."""
 
 from pathlib import Path
 
 import repro
-from repro.lint import LintEngine
+from repro.lint import LintEngine, lint_project, registered_project_rules, registered_rules
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -30,3 +31,30 @@ def test_tests_and_benchmarks_lint_clean():
     )
     assert findings == [], "\n".join(f.format() for f in findings)
     assert engine.files_checked > 30
+
+
+def test_project_rules_lint_clean():
+    # The whole-program pass (RL101-RL106) over the real package: the
+    # layering DAG holds, the import graph is acyclic, pool workers are
+    # picklable, and no RNG provenance leaks -- without a baseline.
+    report = lint_project(
+        [str(SRC_ROOT), str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")],
+        rule_ids=[],
+        project_rule_ids=sorted(registered_project_rules()),
+        jobs=1,
+    )
+    assert report.analyzed_project
+    assert report.findings == [], "\n".join(f.format() for f in report.findings)
+
+
+def test_full_project_mode_matches_serial_composition():
+    # --project = per-file rules + project rules; the combined run over
+    # src/repro must stay clean and count every module.
+    report = lint_project(
+        [str(SRC_ROOT)],
+        rule_ids=sorted(registered_rules()),
+        project_rule_ids=sorted(registered_project_rules()),
+        jobs=1,
+    )
+    assert report.findings == [], "\n".join(f.format() for f in report.findings)
+    assert report.files_checked > 50
