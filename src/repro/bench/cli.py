@@ -4,10 +4,24 @@ Usage::
 
     python -m repro.bench --quick
     python -m repro.bench decide_loops figure_sweep --jobs 4 --output-dir bench-out
+    python -m repro.bench decide_loops --compare benchmarks/baselines
+    python -m repro.bench dca_run --profile 25
 
 Writes one ``BENCH_<suite>.json`` per suite and prints a one-line summary
 each.  Exits non-zero if the figure sweep's parallel checksum diverges
 from the serial one -- CI treats that as a broken determinism contract.
+
+With ``--compare DIR`` each fresh report is additionally judged against
+the committed baseline in ``DIR`` (see :mod:`repro.bench.compare`):
+checksums must match exactly and no timing may regress beyond
+``--tolerance``; any violation exits non-zero and the full comparison is
+written to ``BENCH_comparison.json`` in the output directory for CI to
+upload.
+
+With ``--profile N`` each suite runs once under :mod:`cProfile` (after
+the timed runs, so profiling overhead never pollutes the numbers) and the
+top ``N`` functions by cumulative time are printed -- the entry point of
+the optimization workflow documented in ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -16,6 +30,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    compare_to_baseline,
+    format_comparison,
+)
 from repro.bench.report import write_report
 from repro.bench.suites import SUITES, run_suite
 
@@ -55,7 +74,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for BENCH_<suite>.json reports (default: cwd)",
     )
     parser.add_argument("--list", action="store_true", help="list suites and exit")
+    parser.add_argument(
+        "--compare",
+        metavar="DIR",
+        default=None,
+        help="judge fresh reports against baseline BENCH_<suite>.json files "
+        "in DIR; exits non-zero on checksum mismatch or timing regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative slowdown per timing before --compare fails "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        metavar="N",
+        default=None,
+        help="after timing, rerun each suite once under cProfile and print "
+        "the top N functions by cumulative time",
+    )
     return parser
+
+
+def _profile_suite(name: str, args: argparse.Namespace, top: int) -> None:
+    """One extra run of ``name`` under cProfile; prints the top functions."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_suite(
+        name,
+        seed=args.seed,
+        jobs=args.jobs,
+        quick=args.quick,
+        repeats=1,
+    )
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"--- profile: {name} (top {top} by cumulative time) ---")
+    print(buffer.getvalue())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -77,6 +141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if repeats is None and args.quick:
         repeats = 1
     diverged = False
+    comparisons = []
     for name in names:
         payload = run_suite(
             name,
@@ -98,13 +163,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{payload['serial_checksum'][:16]}...",
                 file=sys.stderr,
             )
+        if args.compare is not None:
+            comparison = compare_to_baseline(
+                name, payload, args.compare, tolerance=args.tolerance
+            )
+            if comparison is None:
+                print(f"{name}: no baseline in {args.compare}; skipping compare")
+            else:
+                comparisons.append(comparison)
+                print(format_comparison(comparison))
+        if args.profile is not None:
+            _profile_suite(name, args, args.profile)
+    failed = diverged
+    if comparisons:
+        import json
+        from pathlib import Path
+
+        artifact = Path(args.output_dir) / "BENCH_comparison.json"
+        artifact.parent.mkdir(parents=True, exist_ok=True)
+        artifact.write_text(
+            json.dumps({"comparisons": comparisons}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"comparison artifact -> {artifact}")
+        bad = [c for c in comparisons if c["verdict"] != "ok"]
+        if bad:
+            failed = True
+            for comparison in bad:
+                print(
+                    f"benchmark FAILED: {comparison['suite']} "
+                    f"verdict={comparison['verdict']}",
+                    file=sys.stderr,
+                )
     if diverged:
         print(
             "benchmark FAILED: parallel results diverged from serial baseline",
             file=sys.stderr,
         )
-        return 1
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,140 @@
+"""Baseline comparison for benchmark reports: the no-regression gate.
+
+``repro-bench --compare DIR`` reruns suites and judges each fresh report
+against the committed baseline ``BENCH_<suite>.json`` in ``DIR``:
+
+* **checksums must be byte-identical** -- a checksum mismatch means the
+  *computed results* changed, which is a correctness bug dressed up as a
+  perf number, and fails hard regardless of timings;
+* **timings must not regress** beyond a tolerance -- each timing key's
+  ``best_seconds`` may grow by at most ``tolerance`` (relative), because
+  best-of-N is the noise-robust statistic (mean absorbs scheduler jitter);
+* **parameters must match** -- comparing a quick run against a full
+  baseline (or different seeds/sizes) would be meaningless, so the gate
+  refuses rather than producing a garbage verdict.
+
+Speedups below 1.0 within tolerance are reported but pass: baselines are
+a *floor*, refreshed deliberately (rerun the suites and commit the new
+reports) rather than ratcheted automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.bench.report import report_path
+
+__all__ = ["compare_report", "compare_to_baseline", "format_comparison"]
+
+#: Default allowed relative slowdown before a timing counts as a regression.
+DEFAULT_TOLERANCE = 0.15
+
+#: Payload keys that must match exactly for a comparison to be meaningful.
+_COMPAT_KEYS = ("seed", "quick", "params")
+
+
+def compare_report(
+    baseline: dict,
+    current: dict,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict:
+    """Judge ``current`` against ``baseline``; returns the comparison dict.
+
+    The result carries ``verdict`` (``"ok"``, ``"regression"``,
+    ``"checksum_mismatch"``, or ``"incomparable"``), per-timing speedups
+    (baseline best / current best; > 1 means faster now), and enough
+    context to reconstruct the judgement from the artifact alone.
+    """
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    suite = current.get("suite") or baseline.get("suite")
+    comparison: dict = {
+        "suite": suite,
+        "tolerance": tolerance,
+        "timings": {},
+        "problems": [],
+    }
+
+    for key in _COMPAT_KEYS:
+        if baseline.get(key) != current.get(key):
+            comparison["problems"].append(
+                f"{key} differs: baseline={baseline.get(key)!r} "
+                f"current={current.get(key)!r}"
+            )
+    if comparison["problems"]:
+        comparison["verdict"] = "incomparable"
+        return comparison
+
+    if baseline.get("checksum") != current.get("checksum"):
+        comparison["problems"].append(
+            f"checksum mismatch: baseline={baseline.get('checksum')} "
+            f"current={current.get('checksum')} -- computed results changed"
+        )
+        comparison["verdict"] = "checksum_mismatch"
+        return comparison
+
+    regressions: List[str] = []
+    baseline_timings: Dict[str, dict] = baseline.get("timings", {})
+    current_timings: Dict[str, dict] = current.get("timings", {})
+    for name, base_stats in sorted(baseline_timings.items()):
+        cur_stats = current_timings.get(name)
+        if cur_stats is None:
+            regressions.append(f"timing {name!r} missing from current report")
+            continue
+        base_best = float(base_stats["best_seconds"])
+        cur_best = float(cur_stats["best_seconds"])
+        speedup = base_best / cur_best if cur_best > 0 else float("inf")
+        regressed = cur_best > base_best * (1.0 + tolerance)
+        comparison["timings"][name] = {
+            "baseline_best_seconds": base_best,
+            "current_best_seconds": cur_best,
+            "speedup": speedup,
+            "regressed": regressed,
+        }
+        if regressed:
+            regressions.append(
+                f"timing {name!r} regressed: {base_best:.4f}s -> {cur_best:.4f}s "
+                f"({cur_best / base_best - 1.0:+.1%}, tolerance {tolerance:.0%})"
+            )
+    comparison["problems"].extend(regressions)
+    comparison["verdict"] = "regression" if regressions else "ok"
+    return comparison
+
+
+def compare_to_baseline(
+    name: str,
+    current: dict,
+    baseline_dir: Union[str, Path],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Optional[dict]:
+    """Compare suite ``name``'s fresh payload against its committed baseline.
+
+    Returns ``None`` when ``baseline_dir`` has no report for the suite (a
+    new suite is not a regression; commit its report to start gating it).
+    """
+    path = report_path(name, baseline_dir)
+    if not path.exists():
+        return None
+    baseline = json.loads(path.read_text())
+    document = dict(current)
+    document.setdefault("suite", name)
+    return compare_report(baseline, document, tolerance=tolerance)
+
+
+def format_comparison(comparison: dict) -> str:
+    """One human-readable block per suite for the CLI and CI logs."""
+    lines = [f"{comparison['suite']}: {comparison['verdict'].upper()}"]
+    for name, entry in sorted(comparison.get("timings", {}).items()):
+        marker = "REGRESSED" if entry["regressed"] else "ok"
+        lines.append(
+            f"  {name:20s} {entry['baseline_best_seconds']:.4f}s -> "
+            f"{entry['current_best_seconds']:.4f}s  "
+            f"x{entry['speedup']:.2f}  [{marker}]"
+        )
+    for problem in comparison.get("problems", []):
+        lines.append(f"  ! {problem}")
+    return "\n".join(lines)

@@ -17,11 +17,24 @@ algorithm needs only the single margin ``d = d(r, R, 0)``.
 All functions here work in log space where overflow is possible and fall
 back to the direct formula otherwise, so they are exact for the small
 operands used throughout and stable for extreme ones.
+
+Performance: the kernels are called from every strategy decision loop and
+every analytic sweep, yet by Theorem 1 they depend only on ``(r, margin)``
+/ ``(r, target)`` -- tiny key spaces in any experiment.  Both are memoized
+with module-level LRU caches (never method caches, which would pin ``self``
+alive -- reprolint RL007 guards the distinction).
+
+Precision: the two sides of a vote satisfy ``q(r, a, b) + q(r, b, a) = 1``
+exactly.  :func:`margin_confidence` therefore computes only the *trailing*
+side directly -- ``1 / (2 + expm1(e))``, which has no catastrophic
+cancellation -- and returns the leading side as its complement, so the pair
+sums to 1 within 1 ulp all the way into the extreme-exponent regime.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional
 
 __all__ = [
@@ -60,21 +73,42 @@ def confidence(r: float, a: int, b: int) -> float:
     return margin_confidence(r, a - b)
 
 
+def _trailing_confidence(exponent: float) -> float:
+    """``1 / (1 + exp(exponent))`` for ``exponent >= 0`` (the side <= 1/2).
+
+    Uses ``2 + expm1`` rather than ``1 + exp`` so the denominator is built
+    from the exactly-representable ``exp(exponent) - 1``; no cancellation
+    occurs anywhere in this branch, making the trailing side accurate to
+    1 ulp even for extreme exponents.
+    """
+    if exponent > 700.0:  # exp overflows; confidence underflows smoothly
+        return math.exp(-exponent)
+    return 1.0 / (2.0 + math.expm1(exponent))
+
+
+@lru_cache(maxsize=None)
+def _margin_confidence_cached(r: float, margin: int) -> float:
+    # 1 / (1 + rho^d) with rho = (1-r)/r; log-space for robustness.
+    log_rho = math.log1p(-r) - math.log(r)
+    exponent = margin * log_rho
+    if exponent >= 0.0:
+        return _trailing_confidence(exponent)
+    # Leading side: complement of the accurately-computed trailing side,
+    # so q(r, d) + q(r, -d) lands within 1 ulp of 1 by construction.
+    return 1.0 - _trailing_confidence(-exponent)
+
+
 def margin_confidence(r: float, margin: int) -> float:
     """Confidence that the leading side is correct, given its lead.
 
     Equals ``r^d / (r^d + (1-r)^d)`` for ``margin = d`` (Equation (6) of
     the paper gives exactly this as the system reliability of iterative
     redundancy with parameter ``d``).  Negative margins are allowed and
-    give the complementary confidence.
+    give the complementary confidence; the two directions sum to 1 within
+    1 ulp.  Memoized on ``(r, margin)`` (Theorem 1: nothing else matters).
     """
     _validate_r(r)
-    # 1 / (1 + rho^d) with rho = (1-r)/r; log-space for robustness.
-    log_rho = math.log1p(-r) - math.log(r)
-    exponent = margin * log_rho
-    if exponent > 700:  # rho^d overflows; confidence underflows to ~0
-        return math.exp(-exponent)
-    return 1.0 / (1.0 + math.exp(exponent))
+    return _margin_confidence_cached(r, margin)
 
 
 def required_agreement(r: float, target: float, b: int) -> int:
@@ -98,21 +132,8 @@ def required_agreement(r: float, target: float, b: int) -> int:
     return required_margin(r, target) + b
 
 
-def required_margin(r: float, target: float) -> int:
-    """Minimum margin d with ``margin_confidence(r, d) >= target``.
-
-    This is d(r, R, 0), the single parameter the simple iterative-
-    redundancy algorithm needs (Theorem 1 makes it independent of ``b``).
-    """
-    _validate_r(r)
-    if not 0.0 < target < 1.0:
-        raise ValueError(f"target reliability must lie strictly in (0, 1), got {target}")
-    if target <= 0.5:
-        return 0
-    if r <= 0.5:
-        raise ValueError(
-            f"no finite margin reaches confidence {target} when r={r} <= 0.5"
-        )
+@lru_cache(maxsize=None)
+def _required_margin_cached(r: float, target: float) -> int:
     # Solve r^d / (r^d + (1-r)^d) >= R  <=>  rho^d <= (1-R)/R,
     # rho = (1-r)/r < 1  <=>  d >= log((1-R)/R) / log(rho).
     rho = (1.0 - r) / r
@@ -124,6 +145,25 @@ def required_margin(r: float, target: float) -> int:
     while d > 0 and margin_confidence(r, d - 1) >= target:
         d -= 1
     return d
+
+
+def required_margin(r: float, target: float) -> int:
+    """Minimum margin d with ``margin_confidence(r, d) >= target``.
+
+    This is d(r, R, 0), the single parameter the simple iterative-
+    redundancy algorithm needs (Theorem 1 makes it independent of ``b``).
+    Memoized on ``(r, target)``.
+    """
+    _validate_r(r)
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target reliability must lie strictly in (0, 1), got {target}")
+    if target <= 0.5:
+        return 0
+    if r <= 0.5:
+        raise ValueError(
+            f"no finite margin reaches confidence {target} when r={r} <= 0.5"
+        )
+    return _required_margin_cached(r, target)
 
 
 def achievable_reliability(r: float, d: int) -> float:

@@ -16,7 +16,7 @@ end to end.
 
 from __future__ import annotations
 
-from repro.core.confidence import confidence, required_agreement, required_margin
+from repro.core.confidence import required_agreement, required_margin
 from repro.core.strategy import RedundancyStrategy
 from repro.core.types import Decision, VoteState
 
@@ -30,6 +30,12 @@ class ComplexIterativeRedundancy(RedundancyStrategy):
 
     Dispatches identically to
     ``IterativeRedundancy(required_margin(r, target))`` -- Theorem 1.
+
+    The construction-time *decision table* is that same theorem put to
+    work: ``q(r, a, b) >= R  <=>  a - b >= d(r, R, 0)`` (monotonicity of
+    ``q`` in the margin) and ``d(r, R, b) = d(r, R, 0) + b``, so the
+    per-vote log/exp evaluation of the printed algorithm collapses to
+    integer compares against the one precomputed margin.
     """
 
     def __init__(self, r: float, target: float) -> None:
@@ -39,7 +45,9 @@ class ComplexIterativeRedundancy(RedundancyStrategy):
             raise ValueError(f"target must lie in (0.5, 1), got {target}")
         self.r = r
         self.target = target
-        self.equivalent_margin = max(1, required_margin(r, target))
+        #: d(r, R, 0) -- the entire decision table, by Theorems 1 and 2.
+        self._required_margin = required_margin(r, target)
+        self.equivalent_margin = max(1, self._required_margin)
         self.name = f"iterative-complex(r={r}, R={target})"
 
     def initial_jobs(self) -> int:
@@ -49,9 +57,12 @@ class ComplexIterativeRedundancy(RedundancyStrategy):
     def decide(self, vote: VoteState) -> Decision:
         a = vote.leader_count
         b = vote.runner_up_count
-        if vote.leader is not None and confidence(self.r, a, b) >= self.target:
+        d0 = self._required_margin
+        # confidence(r, a, b) >= target  <=>  a - b >= d(r, R, 0).
+        if vote.leader is not None and a - b >= d0:
             return Decision.accept(vote.leader)
-        needed = max(1, required_agreement(self.r, self.target, b))
+        # d(r, R, b) = d(r, R, 0) + b  (Theorem 1).
+        needed = max(1, d0 + b)
         if vote.leader is None:
             return Decision.dispatch(needed)
         return Decision.dispatch(needed - a)

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.core.strategy import NodeAware, RedundancyStrategy
+from repro.core.strategy import RedundancyStrategy, is_node_aware
 from repro.core.types import JobOutcome, ResultValue, TaskVerdict, VoteState
 
 #: Produces one job's outcome; receives the 0-based global job index.
@@ -50,7 +50,9 @@ def run_task(
         The accepted :class:`TaskVerdict`.
     """
     vote = VoteState()
-    node_aware = isinstance(strategy, NodeAware)
+    node_aware = is_node_aware(strategy)
+    record = vote.record
+    decide = strategy.decide
     jobs_used = 0
     waves = 0
     pending = strategy.initial_jobs()
@@ -64,10 +66,10 @@ def run_task(
         for _ in range(pending):
             outcome = source(jobs_used)
             jobs_used += 1
-            vote.record(outcome)
+            record(outcome)
             if node_aware:
                 strategy.record_outcome(task_id, outcome)
-        decision = strategy.decide(vote)
+        decision = decide(vote)
         if decision.done:
             verdict = TaskVerdict(
                 value=decision.accepted,
@@ -92,9 +94,10 @@ def bernoulli_source(
     ``r``, otherwise reports the single colluding wrong value."""
     if not 0.0 <= r <= 1.0:
         raise ValueError(f"reliability must lie in [0, 1], got {r}")
+    draw = rng.random
 
     def source(index: int) -> JobOutcome:
-        value = correct if rng.random() < r else wrong
+        value = correct if draw() < r else wrong
         return JobOutcome(value=value, node_id=index)
 
     return source

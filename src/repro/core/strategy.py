@@ -19,6 +19,7 @@ verdicts so they can maintain reputations.
 from __future__ import annotations
 
 import abc
+from functools import lru_cache
 from typing import Optional, Protocol, runtime_checkable
 
 from repro.core.types import Decision, JobOutcome, TaskVerdict, VoteState
@@ -79,3 +80,20 @@ class NodeAware(Protocol):
 
     def task_finished(self, task_id: int, verdict: TaskVerdict) -> None:
         """Observe a task's accepted verdict (without ground truth)."""
+
+
+@lru_cache(maxsize=None)
+def _node_aware_type(strategy_type: type) -> bool:
+    return issubclass(strategy_type, NodeAware)
+
+
+def is_node_aware(strategy: RedundancyStrategy) -> bool:
+    """Whether ``strategy`` implements the :class:`NodeAware` protocol.
+
+    ``isinstance`` against a ``runtime_checkable`` protocol re-walks the
+    protocol's members on every call, which is measurable when substrates
+    check per task; this memoizes the answer per strategy *class*.  (All
+    strategies in this repo define the protocol methods on the class, so
+    the ``issubclass`` check is equivalent to the instance check.)
+    """
+    return _node_aware_type(type(strategy))

@@ -55,6 +55,12 @@ class VoteState:
     counts: Dict[ResultValue, int] = field(default_factory=dict)
     no_response: int = 0
     outstanding: int = 0
+    #: Memoized :meth:`ranked` tuple; every decide call reads the leader,
+    #: its count, and the runner-up count, which would otherwise re-sort
+    #: the counts three times per vote on the hottest loop in the repo.
+    _ranked_cache: Optional[Tuple[Tuple[ResultValue, int], ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Mutation
@@ -67,7 +73,9 @@ class VoteState:
         if outcome.value is None:
             self.no_response += 1
         else:
-            self.counts[outcome.value] = self.counts.get(outcome.value, 0) + 1
+            counts = self.counts
+            counts[outcome.value] = counts.get(outcome.value, 0) + 1
+            self._ranked_cache = None
 
     def record_value(self, value: Optional[ResultValue]) -> None:
         """Shorthand for :meth:`record` with a bare value."""
@@ -95,10 +103,14 @@ class VoteState:
 
     def ranked(self) -> Tuple[Tuple[ResultValue, int], ...]:
         """Result values sorted by descending count (ties by repr, for
-        determinism)."""
-        return tuple(
-            sorted(self.counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
-        )
+        determinism).  Memoized until the next recorded vote."""
+        ranked = self._ranked_cache
+        if ranked is None:
+            ranked = tuple(
+                sorted(self.counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+            )
+            self._ranked_cache = ranked
+        return ranked
 
     @property
     def leader(self) -> Optional[ResultValue]:
@@ -131,7 +143,12 @@ class VoteState:
     @property
     def margin(self) -> int:
         """``leader_count - runner_up_count`` (the paper's ``a - b``)."""
-        return self.leader_count - self.runner_up_count
+        ranked = self.ranked()
+        if not ranked:
+            return 0
+        if len(ranked) > 1:
+            return ranked[0][1] - ranked[1][1]
+        return ranked[0][1]
 
     def copy(self) -> "VoteState":
         return VoteState(

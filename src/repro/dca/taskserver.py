@@ -16,10 +16,9 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.core.strategy import NodeAware, RedundancyStrategy
+from repro.core.strategy import RedundancyStrategy, is_node_aware
 from repro.core.types import Decision, JobOutcome, TaskVerdict, VoteState
 from repro.dca.failures import ByzantineCollusion, FailureModel
 from repro.dca.node import Node
@@ -30,26 +29,46 @@ from repro.sim.events import Event
 from repro.dca.workload import Task
 
 
-@dataclass
 class _TaskState:
-    task: Task
-    vote: VoteState = field(default_factory=VoteState)
-    jobs_used: int = 0
-    waves: int = 0
-    first_dispatch: Optional[float] = None
-    submitted_at: float = 0.0
-    done: bool = False
+    __slots__ = (
+        "task",
+        "vote",
+        "jobs_used",
+        "waves",
+        "first_dispatch",
+        "submitted_at",
+        "done",
+    )
+
+    def __init__(self, task: Task, submitted_at: float = 0.0) -> None:
+        self.task = task
+        self.vote = VoteState()
+        self.jobs_used = 0
+        self.waves = 0
+        self.first_dispatch: Optional[float] = None
+        self.submitted_at = submitted_at
+        self.done = False
 
 
-@dataclass
 class _Job:
-    state: Optional[_TaskState]  # None for spot-check jobs
-    node: Optional[Node] = None
-    completion_event: Optional[Event] = None
-    deadline_event: Optional[Event] = None
-    abandoned: bool = False
-    assigned_at: float = 0.0
-    spot_check: bool = False
+    __slots__ = (
+        "state",
+        "node",
+        "completion_event",
+        "deadline_event",
+        "abandoned",
+        "assigned_at",
+        "spot_check",
+    )
+
+    def __init__(self, state: Optional[_TaskState], spot_check: bool = False) -> None:
+        self.state = state  # None for spot-check jobs
+        self.node: Optional[Node] = None
+        self.completion_event: Optional[Event] = None
+        self.deadline_event: Optional[Event] = None
+        self.abandoned = False
+        self.assigned_at = 0.0
+        self.spot_check = spot_check
 
 
 class TaskServer:
@@ -92,7 +111,7 @@ class TaskServer:
         self.spot_check_rate = spot_check_rate
         self.on_all_done = on_all_done
 
-        self._node_aware = isinstance(strategy, NodeAware)
+        self._node_aware = is_node_aware(strategy)
         self._credibility_manager = getattr(strategy, "manager", None)
         self.prioritize_followups = prioritize_followups
         #: First waves of untouched tasks.
@@ -135,13 +154,17 @@ class TaskServer:
 
     def pump(self) -> None:
         """Assign queued jobs to available nodes (call after churn joins)."""
-        while self.pool.available_count > 0:
-            if self.prioritize_followups and self._followup_queue:
-                job = self._followup_queue.popleft()
-            elif self._queue:
-                job = self._queue.popleft()
-            elif self._followup_queue:
-                job = self._followup_queue.popleft()
+        pool = self.pool
+        queue = self._queue
+        followups = self._followup_queue
+        prioritize = self.prioritize_followups
+        while pool.available_count > 0:
+            if prioritize and followups:
+                job = followups.popleft()
+            elif queue:
+                job = queue.popleft()
+            elif followups:
+                job = followups.popleft()
             else:
                 break
             if job.abandoned or (job.state is not None and job.state.done):
@@ -177,24 +200,28 @@ class TaskServer:
             self._followup_queue.appendleft(job)
             job = _Job(state=None, spot_check=True)
             self.spot_checks_issued += 1
+        sim = self.sim
+        now = sim.now
+        state = job.state
         job.node = node
-        job.assigned_at = self.sim.now
+        job.assigned_at = now
         self.total_jobs_dispatched += 1
-        if job.state is not None and job.state.first_dispatch is None:
-            job.state.first_dispatch = self.sim.now
+        if state is not None and state.first_dispatch is None:
+            state.first_dispatch = now
 
-        task = job.state.task if job.state is not None else _SPOT_CHECK_TASK
+        task = state.task if state is not None else _SPOT_CHECK_TASK
         value = self.failure_model.report(task, node, self._rng_failures)
         nominal = task.nominal_duration
         if nominal is None:
             nominal = self._rng_durations.uniform(self.duration_low, self.duration_high)
         duration = node.job_duration(nominal)
 
-        job.deadline_event = self.sim.schedule_after(
+        schedule_after = sim.schedule_after
+        job.deadline_event = schedule_after(
             self.timeout, lambda ev, j=job: self._on_deadline(j)
         )
         if value is not None:
-            job.completion_event = self.sim.schedule_after(
+            job.completion_event = schedule_after(
                 duration, lambda ev, j=job, v=value: self._on_complete(j, v)
             )
         # A silent job (value None) schedules no completion: only the

@@ -1,4 +1,4 @@
-"""The initial reprolint rule set (RL001-RL006).
+"""The initial reprolint rule set (RL001-RL007).
 
 Each rule encodes one determinism or correctness invariant of this
 repository; ``docs/linting.md`` documents the rationale behind every
@@ -406,3 +406,64 @@ class NoSwallowedExceptionsRule(Rule):
         return isinstance(stmt, ast.Expr) and (
             isinstance(stmt.value, ast.Constant) and stmt.value.value is Ellipsis
         )
+
+
+#: functools caching decorators that memoize on the full argument tuple.
+_CACHE_DECORATORS = frozenset({"lru_cache", "cache"})
+
+
+@register
+class NoCachedMethodsRule(Rule):
+    """RL007: ``functools.lru_cache``/``cache`` on a *method* keys the
+    cache on ``self``, so every instance that ever calls it is pinned in
+    the cache forever (an unbounded memory leak for ``maxsize=None``) and
+    logically-equal instances miss each other's entries.  Memoize a
+    module-level function keyed on the value-typed arguments instead (as
+    :mod:`repro.core.confidence` does), or precompute in ``__init__``.
+
+    Static methods take no ``self`` and are exempt; ``functools.cached_property``
+    stores on the instance, not a shared cache, and is never flagged.
+    """
+
+    rule_id = "RL007"
+    summary = "no functools.lru_cache/cache on methods (the cache pins self alive)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if any(self._is_staticmethod(d) for d in stmt.decorator_list):
+                    continue
+                for decorator in stmt.decorator_list:
+                    name = self._cache_decorator_name(decorator)
+                    if name is not None:
+                        yield self.finding(
+                            module,
+                            decorator,
+                            f"@{name} on method {node.name}.{stmt.name} keys the "
+                            "cache on self, pinning every instance alive; memoize "
+                            "a module-level function on value-typed arguments "
+                            "instead",
+                        )
+
+    @staticmethod
+    def _is_staticmethod(decorator: ast.AST) -> bool:
+        return (isinstance(decorator, ast.Name) and decorator.id == "staticmethod") or (
+            isinstance(decorator, ast.Attribute) and decorator.attr == "staticmethod"
+        )
+
+    @classmethod
+    def _cache_decorator_name(cls, decorator: ast.AST) -> Optional[str]:
+        """The decorator's cache name if it is lru_cache/cache, else None."""
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id in _CACHE_DECORATORS:
+            return target.id
+        if isinstance(target, ast.Attribute) and target.attr in _CACHE_DECORATORS:
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "functools":
+                return f"functools.{target.attr}"
+            return target.attr
+        return None

@@ -137,24 +137,35 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         processed = 0
+        # Hot loop: one queue call per event (pop_due folds the peek and
+        # the pop into a single cancelled-entry sweep) and local bindings
+        # for everything touched per iteration.
+        queue = self._queue
+        pop_due = queue.pop_due
         try:
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
                 if max_events is not None and processed >= max_events:
+                    # The horizon check historically preceded the budget
+                    # check: an out-of-horizon next event still advances
+                    # the clock to ``until`` before stopping.
+                    next_time = queue.peek_time()
+                    if until is not None and next_time is not None and next_time > until:
+                        self.now = until
                     break
+                event = pop_due(until)
+                if event is None:
+                    if until is not None and queue:
+                        # Next live event lies beyond the horizon.
+                        self.now = until
+                    break
+                self.now = event.time
+                self._events_processed += 1
                 try:
-                    self.step()
+                    event.callback(event)
                 except StopSimulation:
                     break
                 processed += 1
-            else:  # pragma: no cover - loop exits via break only
-                pass
-            if until is not None and self.now < until and self._queue.peek_time() is None:
+            if until is not None and self.now < until and queue.peek_time() is None:
                 # Queue drained before the horizon: advance to the horizon so
                 # time-weighted metrics integrate over the full window.
                 self.now = until

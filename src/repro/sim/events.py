@@ -5,21 +5,34 @@ sequence number.  The sequence number makes ordering *stable*: two events
 scheduled for the same instant fire in the order they were scheduled, which
 keeps simulations deterministic for a fixed seed regardless of heap
 internals.
+
+Performance notes (the queue is the single hottest structure in every
+DES run):
+
+* :class:`Event` uses ``__slots__`` instead of a dataclass ``__dict__``;
+  heap entries are ``(time, priority, seq, event)`` tuples so ``heapq``
+  compares plain tuples in C instead of calling ``Event.__lt__`` in
+  Python (``seq`` is unique, so comparisons never reach the event).
+* Cancellation stays lazy (O(1)), but the queue now *compacts* the heap
+  whenever cancelled entries outnumber live ones past a threshold, so
+  heavy cancel/reschedule churn (every completed job cancels its
+  deadline event) can no longer grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 #: Default priority for scheduled events.  Lower values fire first among
 #: events scheduled for the same simulated time.
 DEFAULT_PRIORITY = 0
 
+#: Compact only when at least this many cancelled entries are pending;
+#: below it the rebuild costs more than the lazy pops it saves.
+COMPACT_MIN_CANCELLED = 64
 
-@dataclass(order=False)
+
 class Event:
     """A single scheduled occurrence in the simulation.
 
@@ -34,18 +47,29 @@ class Event:
             events are skipped (and discarded) by the queue.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[["Event"], None]
-    payload: Any = None
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "payload", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[["Event"], None],
+        payload: Any = None,
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark this event so the queue will skip it.
 
-        Cancellation is O(1); the event stays in the heap until popped and
-        is then dropped.  Cancelling an already-cancelled event is a no-op.
+        Cancellation is O(1); the event stays in the heap until popped or
+        compacted away.  Cancelling an already-cancelled event is a no-op.
         """
         self.cancelled = True
 
@@ -61,17 +85,25 @@ class Event:
         return f"<Event t={self.time:.6g} prio={self.priority} seq={self.seq}{state}>"
 
 
+#: One heap entry: the tuple prefix is the exact historical sort key, so
+#: replacing ``Event.__lt__`` comparisons with tuple comparisons cannot
+#: change pop order for any input (``seq`` is unique per queue).
+_HeapEntry = Tuple[float, int, int, Event]
+
+
 class EventQueue:
     """A stable priority queue of :class:`Event` objects.
 
-    Wraps :mod:`heapq` with lazy deletion for cancelled events and a
-    monotone sequence counter for stable ordering.
+    Wraps :mod:`heapq` with lazy deletion for cancelled events, periodic
+    compaction, and a monotone sequence counter for stable ordering.
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter: Iterator[int] = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._next_seq = 0
         self._live = 0
+        #: Cancelled entries still physically present in the heap.
+        self._cancelled_pending = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events still queued."""
@@ -79,6 +111,12 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap entries, live *and* lazily-deleted (for tests and
+        memory diagnostics; ``heap_size - len(queue)`` is the garbage)."""
+        return len(self._heap)
 
     def push(
         self,
@@ -89,44 +127,76 @@ class EventQueue:
         payload: Any = None,
     ) -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            payload=payload,
-        )
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, priority, seq, callback, payload)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel ``event`` if it is still pending."""
         if not event.cancelled:
-            event.cancel()
+            event.cancelled = True
             self._live -= 1
+            self._cancelled_pending += 1
+            if (
+                self._cancelled_pending >= COMPACT_MIN_CANCELLED
+                and self._cancelled_pending * 2 >= len(self._heap)
+            ):
+                self.compact()
+
+    def compact(self) -> None:
+        """Physically drop every cancelled entry and re-heapify.
+
+        Pop order is unaffected: entries keep their ``(time, priority,
+        seq)`` keys, and heapify preserves the induced total order.
+        """
+        if self._cancelled_pending == 0:
+            return
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next live event, or ``None`` if empty."""
-        self._drop_cancelled()
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        if heap:
+            return heap[0][0]
         return None
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        event = heapq.heappop(self._heap)
-        self._live -= 1
-        return event
+        return self.pop_due(None)
+
+    def pop_due(self, limit: Optional[float]) -> Optional[Event]:
+        """Pop the next live event, unless it fires strictly after ``limit``.
+
+        Returns ``None`` when the queue is empty *or* the next live event
+        lies beyond ``limit`` (distinguish via ``bool(queue)``).  This is
+        the run loop's single-call fast path: one cancelled-entry sweep
+        serves both the peek and the pop.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heappop(heap)
+                self._cancelled_pending -= 1
+                continue
+            if limit is not None and entry[0] > limit:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return entry[3]
+        return None
 
     def clear(self) -> None:
         """Drop every queued event."""
         self._heap.clear()
         self._live = 0
-
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._cancelled_pending = 0

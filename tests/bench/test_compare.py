@@ -1,0 +1,212 @@
+# reprolint: disable-file=RL003 -- tests assert exact verdicts of constructed comparisons on purpose
+"""Tests for the baseline comparison gate (``repro-bench --compare``)."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.compare import (
+    compare_report,
+    compare_to_baseline,
+    format_comparison,
+)
+from repro.bench.report import write_report
+
+
+def _payload(best=1.0, checksum="abc", seed=0, quick=True, params=None):
+    return {
+        "suite": "unit",
+        "seed": seed,
+        "quick": quick,
+        "params": params if params is not None else {"tasks": 10},
+        "timings": {
+            "case": {
+                "repeats": 1,
+                "best_seconds": best,
+                "mean_seconds": best,
+                "total_seconds": best,
+            }
+        },
+        "results": {},
+        "checksum": checksum,
+    }
+
+
+class TestCompareReport:
+    def test_ok_when_faster(self):
+        comparison = compare_report(_payload(best=1.0), _payload(best=0.5))
+        assert comparison["verdict"] == "ok"
+        assert comparison["timings"]["case"]["speedup"] == pytest.approx(2.0)
+        assert not comparison["timings"]["case"]["regressed"]
+
+    def test_ok_within_tolerance(self):
+        comparison = compare_report(
+            _payload(best=1.0), _payload(best=1.10), tolerance=0.15
+        )
+        assert comparison["verdict"] == "ok"
+
+    def test_regression_beyond_tolerance(self):
+        comparison = compare_report(
+            _payload(best=1.0), _payload(best=1.30), tolerance=0.15
+        )
+        assert comparison["verdict"] == "regression"
+        assert comparison["timings"]["case"]["regressed"]
+        assert any("regressed" in p for p in comparison["problems"])
+
+    def test_checksum_mismatch_fails_regardless_of_speed(self):
+        comparison = compare_report(
+            _payload(best=1.0, checksum="abc"),
+            _payload(best=0.1, checksum="DIFFERENT"),
+        )
+        assert comparison["verdict"] == "checksum_mismatch"
+        assert comparison["timings"] == {}
+
+    def test_params_mismatch_is_incomparable(self):
+        comparison = compare_report(
+            _payload(params={"tasks": 10}), _payload(params={"tasks": 99})
+        )
+        assert comparison["verdict"] == "incomparable"
+
+    def test_quick_vs_full_is_incomparable(self):
+        comparison = compare_report(_payload(quick=False), _payload(quick=True))
+        assert comparison["verdict"] == "incomparable"
+
+    def test_missing_timing_is_a_regression(self):
+        current = _payload()
+        current["timings"] = {}
+        comparison = compare_report(_payload(), current)
+        assert comparison["verdict"] == "regression"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_report(_payload(), _payload(), tolerance=-0.1)
+
+    def test_format_comparison_mentions_verdict_and_speedup(self):
+        text = format_comparison(compare_report(_payload(1.0), _payload(0.5)))
+        assert "OK" in text
+        assert "x2.00" in text
+
+
+class TestCompareToBaseline:
+    def test_missing_baseline_returns_none(self, tmp_path):
+        assert compare_to_baseline("unit", _payload(), tmp_path) is None
+
+    def test_round_trip_through_report_files(self, tmp_path):
+        write_report("unit", _payload(best=1.0), output_dir=tmp_path)
+        comparison = compare_to_baseline("unit", _payload(best=0.9), tmp_path)
+        assert comparison is not None
+        assert comparison["verdict"] == "ok"
+
+
+class TestCliGate:
+    """End-to-end: the CLI exit codes CI relies on."""
+
+    def test_compare_ok_exits_zero_and_writes_artifact(self, tmp_path, capsys):
+        from repro.bench.suites import run_suite
+
+        baseline_dir = tmp_path / "baselines"
+        baseline = run_suite("decide_loops", seed=3, quick=True, repeats=1)
+        baseline["timings"] = {
+            name: {**stats, "best_seconds": stats["best_seconds"] * 100}
+            for name, stats in baseline["timings"].items()
+        }
+        write_report("decide_loops", baseline, output_dir=baseline_dir)
+        out_dir = tmp_path / "out"
+        code = bench_main(
+            [
+                "decide_loops",
+                "--quick",
+                "--seed",
+                "3",
+                "--compare",
+                str(baseline_dir),
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        artifact = json.loads((out_dir / "BENCH_comparison.json").read_text())
+        assert artifact["comparisons"][0]["verdict"] == "ok"
+
+    def test_compare_checksum_mismatch_exits_nonzero(self, tmp_path, capsys):
+        from repro.bench.suites import run_suite
+
+        baseline_dir = tmp_path / "baselines"
+        baseline = run_suite("decide_loops", seed=3, quick=True, repeats=1)
+        baseline["checksum"] = "0" * 64
+        write_report("decide_loops", baseline, output_dir=baseline_dir)
+        code = bench_main(
+            [
+                "decide_loops",
+                "--quick",
+                "--seed",
+                "3",
+                "--compare",
+                str(baseline_dir),
+                "--output-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "checksum_mismatch" in captured.err
+
+    def test_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        from repro.bench.suites import run_suite
+
+        baseline_dir = tmp_path / "baselines"
+        baseline = run_suite("decide_loops", seed=3, quick=True, repeats=1)
+        # An impossibly fast baseline: any real run regresses against it.
+        baseline["timings"] = {
+            name: {**stats, "best_seconds": 1e-9}
+            for name, stats in baseline["timings"].items()
+        }
+        write_report("decide_loops", baseline, output_dir=baseline_dir)
+        code = bench_main(
+            [
+                "decide_loops",
+                "--quick",
+                "--seed",
+                "3",
+                "--compare",
+                str(baseline_dir),
+                "--output-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.err
+
+    def test_missing_baseline_is_not_a_failure(self, tmp_path, capsys):
+        code = bench_main(
+            [
+                "decide_loops",
+                "--quick",
+                "--seed",
+                "3",
+                "--compare",
+                str(tmp_path / "empty"),
+                "--output-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_profile_smoke(self, tmp_path, capsys):
+        code = bench_main(
+            [
+                "decide_loops",
+                "--quick",
+                "--profile",
+                "5",
+                "--output-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "profile: decide_loops" in captured.out
+        assert "cumulative" in captured.out

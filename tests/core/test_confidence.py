@@ -70,6 +70,28 @@ class TestConfidence:
         """Confidence of one side plus the other is 1."""
         assert margin_confidence(r, d) + margin_confidence(r, -d) == pytest.approx(1.0)
 
+    @given(reliabilities, st.integers(-2000, 2000))
+    def test_property_complement_within_one_ulp(self, r, d):
+        """The expm1-based kernel makes the pair sum to 1 within 1 ulp,
+        even for margins far beyond any experiment's."""
+        total = margin_confidence(r, d) + margin_confidence(r, -d)
+        assert abs(total - 1.0) <= math.ulp(1.0)
+
+    @given(reliabilities, st.integers(0, 100), st.integers(0, 100))
+    def test_property_confidence_complement_within_one_ulp(self, r, a, b):
+        """Same guarantee through the public q(r, a, b) surface."""
+        total = confidence(r, a, b) + confidence(r, b, a)
+        assert abs(total - 1.0) <= math.ulp(1.0)
+
+    def test_memoized_kernel_returns_identical_object_semantics(self):
+        """Memoization must be observationally invisible: repeated calls
+        give the exact same float, and validation still runs first."""
+        first = margin_confidence(0.73, 5)
+        second = margin_confidence(0.73, 5)
+        assert first == second
+        with pytest.raises(ValueError):
+            margin_confidence(1.0, 5)
+
     @given(high_reliabilities, st.integers(0, 40))
     def test_property_monotone_in_margin(self, r, d):
         assert margin_confidence(r, d + 1) >= margin_confidence(r, d)

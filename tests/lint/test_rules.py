@@ -260,6 +260,104 @@ class TestRL006SwallowedExceptions:
         assert findings == []
 
 
+class TestRL007CachedMethods:
+    def test_lru_cache_on_method_flagged(self):
+        findings = lint(
+            """
+            from functools import lru_cache
+
+            class Kernel:
+                @lru_cache(maxsize=None)
+                def evaluate(self, margin):
+                    return margin * 2
+            """
+        )
+        assert rule_ids(findings) == ["RL007"]
+        assert "Kernel.evaluate" in findings[0].message
+
+    def test_bare_cache_decorator_flagged(self):
+        findings = lint(
+            """
+            from functools import cache
+
+            class Kernel:
+                @cache
+                def evaluate(self, margin):
+                    return margin * 2
+            """
+        )
+        assert rule_ids(findings) == ["RL007"]
+
+    def test_functools_attribute_form_flagged(self):
+        findings = lint(
+            """
+            import functools
+
+            class Kernel:
+                @functools.lru_cache
+                def evaluate(self, margin):
+                    return margin * 2
+            """
+        )
+        assert rule_ids(findings) == ["RL007"]
+        assert "functools.lru_cache" in findings[0].message
+
+    def test_static_method_exempt(self):
+        findings = lint(
+            """
+            import functools
+
+            class Kernel:
+                @staticmethod
+                @functools.lru_cache(maxsize=32)
+                def evaluate(margin):
+                    return margin * 2
+            """
+        )
+        assert findings == []
+
+    def test_module_level_function_legal(self):
+        findings = lint(
+            """
+            from functools import lru_cache
+
+            @lru_cache(maxsize=None)
+            def evaluate(r, margin):
+                return margin * r
+            """
+        )
+        assert findings == []
+
+    def test_nested_function_inside_method_legal(self):
+        findings = lint(
+            """
+            from functools import lru_cache
+
+            class Solver:
+                def solve(self, k):
+                    @lru_cache(maxsize=None)
+                    def recurse(a, b):
+                        return a + b
+
+                    return recurse(k, k)
+            """
+        )
+        assert findings == []
+
+    def test_cached_property_legal(self):
+        findings = lint(
+            """
+            from functools import cached_property
+
+            class Kernel:
+                @cached_property
+                def table(self):
+                    return [1, 2, 3]
+            """
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_inline_disable_silences_one_line(self):
         engine = LintEngine()
@@ -373,7 +471,7 @@ class TestEngineBasics:
             f"{first.path}:{first.line}: {first.rule_id} {first.message}"
         )
 
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_rules(self):
         assert sorted(registered_rules()) == [
             "RL001",
             "RL002",
@@ -381,6 +479,7 @@ class TestEngineBasics:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         ]
 
     def test_rule_subset_selection(self):
@@ -393,7 +492,9 @@ class TestEngineBasics:
         assert rule_ids(lint(source, rules=["RL004"])) == ["RL004"]
 
 
-@pytest.mark.parametrize("rule_id", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"])
+@pytest.mark.parametrize(
+    "rule_id", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+)
 def test_every_rule_has_docs_metadata(rule_id):
     cls = registered_rules()[rule_id]
     assert cls.summary

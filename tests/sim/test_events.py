@@ -1,9 +1,10 @@
-"""Unit tests for the event queue: ordering, stability, cancellation."""
+"""Unit tests for the event queue: ordering, stability, cancellation,
+and the lazy-deletion memory bound."""
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import COMPACT_MIN_CANCELLED, Event, EventQueue
 
 
 def _noop(event):
@@ -87,6 +88,50 @@ class TestCancellation:
             queue.cancel(event)
         assert not queue
         assert queue.pop() is None
+
+
+class TestCompaction:
+    """Lazy deletion must not leak: cancelled entries are physically
+    removed once they are both numerous (>= COMPACT_MIN_CANCELLED) and
+    the majority of the heap, bounding memory at ~2x the live set."""
+
+    def test_heap_size_stays_bounded_under_cancel_churn(self):
+        queue = EventQueue()
+        live = [queue.push(1e9, _noop) for _ in range(10)]
+        # Schedule-and-cancel far more events than the compaction
+        # threshold; without compaction the physical heap would hold
+        # every cancelled entry until its pop time (1e9) arrives.
+        for i in range(50 * COMPACT_MIN_CANCELLED):
+            queue.cancel(queue.push(1e9 + i, _noop))
+            assert queue.heap_size <= max(
+                2 * len(queue) + 1, COMPACT_MIN_CANCELLED + len(queue)
+            )
+        assert len(queue) == 10
+        assert queue.heap_size < 2 * COMPACT_MIN_CANCELLED + len(live)
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        survivors = []
+        for i in range(4 * COMPACT_MIN_CANCELLED):
+            event = queue.push(float(i % 97), _noop, payload=i)
+            if i % 3 == 0:
+                survivors.append((i % 97, i))
+            else:
+                queue.cancel(event)
+        popped = [(int(queue.pop().time), None) for _ in range(len(queue))]
+        assert [t for t, _ in popped] == sorted(t for t, _ in survivors)
+
+    def test_explicit_compact_drops_cancelled_entries(self):
+        queue = EventQueue()
+        doomed = [queue.push(float(i), _noop) for i in range(8)]
+        kept = queue.push(100.0, _noop)
+        for event in doomed:
+            queue.cancel(event)
+        assert queue.heap_size == 9
+        queue.compact()
+        assert queue.heap_size == 1
+        assert len(queue) == 1
+        assert queue.pop() is kept
 
 
 class TestEventObject:
