@@ -15,6 +15,7 @@ from repro.core.distributions import ReliabilityDistribution
 from repro.dca.node import Node
 from repro.dca.pool import NodePool
 from repro.sim.engine import Simulator
+from repro.sim.streams import CHURN
 
 
 class ChurnProcess:
@@ -55,7 +56,7 @@ class ChurnProcess:
         self.speed_spread = speed_spread
         self.unresponsive_prob = unresponsive_prob
         self.on_join = on_join
-        self._rng = sim.rng.stream("churn")
+        self._rng = sim.rng.stream(CHURN)
         self._stopped = False
 
     def start(self) -> None:

@@ -25,6 +25,7 @@ from repro.dca.node import Node
 from repro.dca.pool import NodePool
 from repro.dca.report import TaskRecord
 from repro.sim.engine import Simulator, StopSimulation
+from repro.sim.streams import DURATIONS, FAILURES, NODE_SELECTION, SPOT_CHECKS
 from repro.sim.events import Event
 from repro.dca.workload import Task
 
@@ -129,10 +130,10 @@ class TaskServer:
         self.spot_checks_issued = 0
         self._remaining = 0
 
-        self._rng_select = sim.rng.stream("node-selection")
-        self._rng_durations = sim.rng.stream("durations")
-        self._rng_failures = sim.rng.stream("failures")
-        self._rng_spot = sim.rng.stream("spot-checks")
+        self._rng_select = sim.rng.stream(NODE_SELECTION)
+        self._rng_durations = sim.rng.stream(DURATIONS)
+        self._rng_failures = sim.rng.stream(FAILURES)
+        self._rng_spot = sim.rng.stream(SPOT_CHECKS)
 
     # ------------------------------------------------------------------
     # Public API

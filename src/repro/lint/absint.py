@@ -1,0 +1,1132 @@
+"""Flow-sensitive abstract interpretation over the project call graph.
+
+This is the analysis core behind ``repro-lint --flows``.  Where the
+RL10x dataflow helpers answer syntactic questions about one expression,
+this module *interprets* every function body over the abstract domain of
+:mod:`repro.lint.provenance` -- provenance x orderedness -- statement by
+statement, in program order:
+
+* assignments, tuple unpacking, attribute stores (``self.x = rng``),
+  containers, comprehensions, and conditionals (branch envs are joined
+  at the merge point) propagate tags;
+* calls to statically resolvable functions are analyzed
+  interprocedurally through **bounded context-sensitive summaries**: a
+  function is re-interpreted once per distinct tuple of argument
+  provenances, memoized, up to :data:`MAX_CONTEXTS` contexts, after
+  which the generic summary (stream parameters tagged with synthetic
+  ``param:`` labels) is reused.  Recursive cycles get the neutral
+  summary -- under-approximate, like the call graph itself;
+* origin sites mint lattice points: ``registry.stream("x")`` /
+  ``registry.spawn("x")`` tag their result with the literal label,
+  seeded ``random.Random(seed)`` with a synthetic per-site label, and
+  unseeded ``random.Random()`` with ⊤.
+
+While interpreting, the analysis records the *events* the RL20x rules
+consume -- stream draws, stream arguments at call sites, draws from a
+stream after it was handed off to a consuming callee, and reductions
+over definitely-unordered values -- each anchored to its AST node.
+
+The explicit escape hatch ``# reprolint: stream=<label>`` on an
+assignment line overrides the inferred provenance of the assigned value
+with the given label (useful when a stream arrives through a path the
+interpreter cannot see, e.g. deserialization).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import CallGraph, FunctionInfo, ModuleScope, resolve_reference
+from repro.lint.dataflow import MUTATOR_METHODS, is_setish_expr, setish_names
+from repro.lint.graph import ImportGraph, ProjectModule
+from repro.lint.provenance import (
+    BOTTOM,
+    TOP_UNSEEDED,
+    AbstractValue,
+    FunctionSummary,
+    NEUTRAL_SUMMARY,
+    ORDERED_VALUE,
+    Orderedness,
+    Provenance,
+    UNKNOWN_VALUE,
+    join_all,
+    stream,
+)
+from repro.lint.rules import _GLOBAL_DRAWS
+
+#: Distinct calling contexts interpreted per function before falling
+#: back to the generic summary (the "bounded" in bounded context
+#: sensitivity).
+MAX_CONTEXTS = 8
+
+#: Method names that consume (draw from) an RNG stream.
+DRAW_METHODS = frozenset(_GLOBAL_DRAWS)
+
+#: Parameter names treated as registry/stream-taking (same convention
+#: as RL105, plus the registry itself).
+STREAM_PARAM_NAMES = frozenset({"rng", "stream", "registry"})
+
+#: Builtins that re-establish a deterministic iteration order.
+_ORDERING_CALLS = frozenset({"sorted"})
+#: Builtins whose result iterates in hash order.
+_UNORDERING_CALLS = frozenset({"set", "frozenset"})
+#: Attribute calls returning set-valued results.
+_SET_RETURNING_ATTRS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+#: Order/provenance-preserving wrappers.
+_PRESERVING_CALLS = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+#: Dict views iterate in insertion order -- deterministic.
+_ORDERED_ATTR_CALLS = frozenset({"items", "keys", "values"})
+#: Float reductions whose result depends on iteration order.
+REDUCER_NAMES = frozenset({"sum", "fsum", "reduce", "accumulate"})
+
+#: ``# reprolint: stream=<label>`` -- explicit provenance annotation.
+_STREAM_ANNOTATION_RE = re.compile(r"#\s*reprolint:\s*stream=([\w.:*\-]+)")
+
+
+@dataclass(frozen=True)
+class CreationSite:
+    """Where a stream label was minted."""
+
+    module: str
+    function: Optional[str]  # qualname, None for module-level code
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class DrawRecord:
+    """One draw from a stream-tagged value."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    value: Provenance
+    method: str
+
+
+@dataclass(frozen=True)
+class CallStreamArg:
+    """A stream-tagged argument observed at a call site."""
+
+    module: str
+    function: Optional[str]
+    node: ast.Call
+    callee: Optional[str]  # resolved qualname, if any
+    arg_index: int
+    arg_name: Optional[str]
+    value: Provenance
+
+
+@dataclass(frozen=True)
+class ReuseRecord:
+    """A draw from a stream after it was handed off to a consuming callee."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    label: str
+    handoff_lineno: int
+    callee: Optional[str]
+
+
+@dataclass(frozen=True)
+class UnorderedReduceRecord:
+    """A float reduction fed by a definitely-unordered value."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    reducer: str
+    #: True when RL104's syntactic check already covers this site (the
+    #: iterable is statically a set expression); RL204 skips those.
+    syntactic: bool
+    #: Name of the accumulator for loop accumulation events, else "".
+    accumulator: str = ""
+
+
+@dataclass
+class FlowEvents:
+    """Everything the RL20x rules consume, collected in one pass."""
+
+    draws: List[DrawRecord] = field(default_factory=list)
+    call_stream_args: List[CallStreamArg] = field(default_factory=list)
+    reuses: List[ReuseRecord] = field(default_factory=list)
+    unordered_reduces: List[UnorderedReduceRecord] = field(default_factory=list)
+    #: label -> creation sites, for cross-scope sharing diagnostics.
+    created_at: Dict[str, List[CreationSite]] = field(default_factory=dict)
+
+
+def _param_names(node: ast.AST) -> List[str]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return []
+    return [
+        arg.arg
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ]
+
+
+def _is_stream_annotation(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    name = ""
+    if isinstance(annotation, ast.Attribute):
+        name = annotation.attr
+    elif isinstance(annotation, ast.Name):
+        name = annotation.id
+    elif isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        name = annotation.value.rsplit(".", 1)[-1]
+    return name in ("Random", "RngRegistry")
+
+
+def _literal_label(node: ast.AST, const_strings: Dict[str, str]) -> Optional[str]:
+    """Static stream label of a ``.stream(...)``/``.spawn(...)`` name arg.
+
+    A literal-prefixed f-string names the whole family (``replicate:*``);
+    a module-level string constant (including ``StreamLabel("...")``)
+    resolves to its value.  ``None`` means the label is dynamic.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if (
+            isinstance(first, ast.Constant)
+            and isinstance(first.value, str)
+            and first.value
+        ):
+            return first.value + "*"
+    if isinstance(node, ast.Name):
+        return const_strings.get(node.id)
+    return None
+
+
+def module_const_strings(module: ProjectModule) -> Dict[str, str]:
+    """Top-level names bound to string constants (or ``StreamLabel("...")``)."""
+    out: Dict[str, str] = {}
+    for node in module.context.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        text: Optional[str] = None
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            text = value.value
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "StreamLabel"
+            and value.args
+            and isinstance(value.args[0], ast.Constant)
+            and isinstance(value.args[0].value, str)
+        ):
+            text = value.args[0].value
+        if text is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = text
+    return out
+
+
+class FlowAnalysis:
+    """The interprocedural flow analysis over one project.
+
+    Build once per run with :meth:`build`; the :class:`FlowEvents` in
+    :attr:`events` and the memoized summaries are then shared by every
+    RL20x rule.
+    """
+
+    def __init__(self, graph: ImportGraph, callgraph: CallGraph) -> None:
+        self.graph = graph
+        self.callgraph = callgraph
+        self.events = FlowEvents()
+        #: (qualname, context) -> summary.
+        self._summaries: Dict[Tuple[str, Tuple[Provenance, ...]], FunctionSummary] = {}
+        self._context_counts: Dict[str, int] = {}
+        self._in_progress: Set[Tuple[str, Tuple[Provenance, ...]]] = set()
+        #: module name -> top-level string constants.
+        self.const_strings: Dict[str, Dict[str, str]] = {}
+        #: module name -> abstract values of module-level bindings.
+        self.module_envs: Dict[str, Dict[str, AbstractValue]] = {}
+        #: "module:Class" -> {"self.attr": value} from __init__.
+        self._class_envs: Dict[str, Dict[str, AbstractValue]] = {}
+        self._module_env_in_progress: Set[str] = set()
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: ImportGraph, callgraph: CallGraph) -> "FlowAnalysis":
+        analysis = cls(graph, callgraph)
+        for name, module in graph.modules.items():
+            analysis.const_strings[name] = module_const_strings(module)
+        # Resolve one level of constant re-export (from repro.x import LABEL).
+        for name, module in graph.modules.items():
+            scope = callgraph.scopes[name]
+            table = analysis.const_strings[name]
+            for local, (source, original) in scope.from_imports.items():
+                if local not in table:
+                    value = analysis.const_strings.get(source, {}).get(original)
+                    if value is not None:
+                        table[local] = value
+        # Module-level code first (module envs feed global reads), then
+        # every function once in its generic context, recording events.
+        for name in sorted(graph.modules):
+            analysis.module_env(name)
+        for qualname in sorted(callgraph.functions):
+            analysis._generic_summary(qualname, record_events=True)
+        return analysis
+
+    # -- environments -------------------------------------------------
+
+    def module_env(self, name: str) -> Dict[str, AbstractValue]:
+        """Abstract values of ``name``'s module-level bindings."""
+        cached = self.module_envs.get(name)
+        if cached is not None:
+            return cached
+        if name in self._module_env_in_progress or name not in self.graph.modules:
+            return {}
+        self._module_env_in_progress.add(name)
+        try:
+            module = self.graph.modules[name]
+            interpreter = _Interpreter(
+                self,
+                module,
+                self.callgraph.scopes[name],
+                qualname=None,
+                record_events=True,
+            )
+            top_level = [
+                node
+                for node in module.context.tree.body
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+            interpreter.run(top_level)
+            env = interpreter.env
+        finally:
+            self._module_env_in_progress.discard(name)
+        self.module_envs[name] = env
+        return env
+
+    def class_env(self, module: str, class_name: str) -> Dict[str, AbstractValue]:
+        """``self.attr`` values established by ``__init__`` (generic context)."""
+        key = f"{module}:{class_name}"
+        cached = self._class_envs.get(key)
+        if cached is not None:
+            return cached
+        self._class_envs[key] = {}  # cycle guard
+        init = self.callgraph.functions.get(f"{module}:{class_name}.__init__")
+        if init is None:
+            return self._class_envs[key]
+        interpreter = self._interpret_function(
+            init, self._generic_context(init), record_events=False
+        )
+        env = {
+            name: value
+            for name, value in interpreter.env.items()
+            if name.startswith("self.")
+        }
+        self._class_envs[key] = env
+        return env
+
+    # -- summaries ----------------------------------------------------
+
+    def _generic_context(self, info: FunctionInfo) -> Tuple[Provenance, ...]:
+        """The context used when no call-site provenance is available:
+        stream-like parameters get synthetic per-parameter labels."""
+        context: List[Provenance] = []
+        args = getattr(info.node, "args", None)
+        all_args = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            if args is not None
+            else []
+        )
+        for arg in all_args:
+            if arg.arg in STREAM_PARAM_NAMES or _is_stream_annotation(arg.annotation):
+                context.append(stream(f"param:{info.qualname}:{arg.arg}"))
+            else:
+                context.append(BOTTOM)
+        return tuple(context)
+
+    def _generic_summary(self, qualname: str, record_events: bool) -> FunctionSummary:
+        info = self.callgraph.functions[qualname]
+        return self.summary(qualname, self._generic_context(info), record_events)
+
+    def summary(
+        self,
+        qualname: str,
+        context: Tuple[Provenance, ...],
+        record_events: bool = False,
+    ) -> FunctionSummary:
+        """The (memoized) summary of ``qualname`` under ``context``."""
+        info = self.callgraph.functions.get(qualname)
+        if info is None:
+            return NEUTRAL_SUMMARY
+        params = _param_names(info.node)
+        context = tuple(context[: len(params)]) + (BOTTOM,) * (
+            len(params) - len(context)
+        )
+        key = (qualname, context)
+        cached = self._summaries.get(key)
+        if cached is not None and not record_events:
+            return cached
+        if key in self._in_progress:
+            return NEUTRAL_SUMMARY
+        if (
+            cached is None
+            and self._context_counts.get(qualname, 0) >= MAX_CONTEXTS
+            and not record_events
+        ):
+            generic = (qualname, self._generic_context(info))
+            fallback = self._summaries.get(generic)
+            if fallback is not None:
+                return fallback
+        self._in_progress.add(key)
+        try:
+            interpreter = self._interpret_function(info, context, record_events)
+            summary = interpreter.summarize()
+        finally:
+            self._in_progress.discard(key)
+        if cached is None:
+            self._context_counts[qualname] = self._context_counts.get(qualname, 0) + 1
+        self._summaries[key] = summary
+        return summary
+
+    def _interpret_function(
+        self,
+        info: FunctionInfo,
+        context: Tuple[Provenance, ...],
+        record_events: bool,
+    ) -> "_Interpreter":
+        module = self.graph.modules[info.module]
+        scope = self.callgraph.scopes[info.module]
+        interpreter = _Interpreter(
+            self,
+            module,
+            scope,
+            qualname=info.qualname,
+            class_name=info.class_name,
+            record_events=record_events,
+        )
+        params = _param_names(info.node)
+        for name, prov in zip(params, context):
+            interpreter.env[name] = AbstractValue(prov, Orderedness.UNKNOWN)
+            if prov.is_stream:
+                interpreter.param_entry[name] = prov
+        if info.class_name is not None and info.node.name != "__init__":
+            for attr, value in self.class_env(info.module, info.class_name).items():
+                interpreter.env.setdefault(attr, value)
+        interpreter.func_node = info.node
+        interpreter.known_sets = frozenset(
+            setish_names(info.node, module.context.tree)
+        )
+        interpreter.run(info.node.body)
+        return interpreter
+
+    def record_creation(
+        self, label: str, module: str, function: Optional[str], node: ast.AST
+    ) -> None:
+        sites = self.events.created_at.setdefault(label, [])
+        site = CreationSite(
+            module=module,
+            function=function,
+            lineno=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+        if site not in sites:
+            sites.append(site)
+
+
+class _Interpreter:
+    """One flow-sensitive pass over a statement list."""
+
+    def __init__(
+        self,
+        analysis: FlowAnalysis,
+        module: ProjectModule,
+        scope: ModuleScope,
+        qualname: Optional[str],
+        class_name: Optional[str] = None,
+        record_events: bool = False,
+    ) -> None:
+        self.analysis = analysis
+        self.module = module
+        self.scope = scope
+        self.qualname = qualname
+        self.class_name = class_name
+        self.record = record_events
+        self.env: Dict[str, AbstractValue] = {}
+        #: Stream labels handed off to a consuming callee so far, with
+        #: the line and callee of the first hand-off.
+        self.handed: Dict[str, Tuple[int, Optional[str]]] = {}
+        #: Entry provenance of stream parameters (for consumed_params).
+        self.param_entry: Dict[str, Provenance] = {}
+        self.consumed: Set[str] = set()
+        self.consumes_top = False
+        self.consumed_params: Set[str] = set()
+        self.created: Set[str] = set()
+        self.returns: AbstractValue = AbstractValue(BOTTOM, Orderedness.UNKNOWN)
+        self.saw_return = False
+        self.func_node: Optional[ast.AST] = None
+        self.known_sets: FrozenSet[str] = frozenset()
+
+    def summarize(self) -> FunctionSummary:
+        return FunctionSummary(
+            returns=self.returns if self.saw_return else UNKNOWN_VALUE,
+            consumed=frozenset(self.consumed),
+            consumes_top=self.consumes_top,
+            consumed_params=frozenset(self.consumed_params),
+            created=frozenset(self.created),
+        )
+
+    # -- statement dispatch -------------------------------------------
+
+    def run(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            self.execute(statement)
+
+    def execute(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._exec_assign(node)
+        elif isinstance(node, (ast.Return,)):
+            if node.value is not None:
+                self.returns = self.returns.join(self.eval(node.value))
+                self.saw_return = True
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._exec_for(node)
+        elif isinstance(node, ast.While):
+            self.eval(node.test)
+            self._join_branches([node.body, node.orelse])
+        elif isinstance(node, ast.If):
+            self.eval(node.test)
+            self._join_branches([node.body, node.orelse])
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                value = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, value)
+            self.run(node.body)
+        elif isinstance(node, ast.Try):
+            blocks: List[List[ast.stmt]] = [node.body]
+            for handler in node.handlers:
+                blocks.append(handler.body)
+            if node.orelse:
+                blocks.append(node.orelse)
+            self._join_branches(blocks)
+            self.run(node.finalbody)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested defs are analyzed via the call graph, not inline
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _join_branches(self, blocks: Sequence[Sequence[ast.stmt]]) -> None:
+        """Interpret alternative blocks from the current env and join the
+        resulting envs at the merge point (flow-sensitivity with joins)."""
+        base_env = dict(self.env)
+        base_handed = dict(self.handed)
+        merged_env: Optional[Dict[str, AbstractValue]] = None
+        merged_handed: Dict[str, Tuple[int, Optional[str]]] = dict(base_handed)
+        for block in blocks:
+            self.env = dict(base_env)
+            self.handed = dict(base_handed)
+            self.run(block)
+            if merged_env is None:
+                merged_env = dict(self.env)
+            else:
+                keys = set(merged_env) | set(self.env)
+                merged_env = {
+                    key: merged_env.get(key, UNKNOWN_VALUE).join(
+                        self.env.get(key, UNKNOWN_VALUE)
+                    )
+                    if key in merged_env and key in self.env
+                    else (merged_env.get(key) or self.env[key])
+                    for key in keys
+                }
+            for label, site in self.handed.items():
+                merged_handed.setdefault(label, site)
+        self.env = merged_env if merged_env is not None else base_env
+        self.handed = merged_handed
+
+    def _exec_for(self, node: ast.For) -> None:
+        iterable = self.eval(node.iter)
+        element = AbstractValue(iterable.prov, Orderedness.UNKNOWN)
+        self._bind_target(node.target, element)
+        if self.record and iterable.order is Orderedness.UNORDERED:
+            accumulator = self._loop_accumulator(node)
+            if accumulator is not None:
+                self.analysis.events.unordered_reduces.append(
+                    UnorderedReduceRecord(
+                        module=self.module.name,
+                        function=self.qualname,
+                        node=node.iter,
+                        reducer="for-loop",
+                        syntactic=is_setish_expr(node.iter, self.known_sets),
+                        accumulator=accumulator,
+                    )
+                )
+        self._join_branches([list(node.body) + list(node.orelse)])
+
+    def _loop_accumulator(self, loop: ast.For) -> Optional[str]:
+        """Name of an order-sensitive accumulator fed by the loop, if any."""
+        loop_locals = {
+            name.id for name in ast.walk(loop.target) if isinstance(name, ast.Name)
+        }
+        for statement in loop.body:
+            for sub in ast.walk(statement):
+                if isinstance(sub, ast.AugAssign) and isinstance(
+                    sub.target, ast.Name
+                ):
+                    if sub.target.id not in loop_locals:
+                        return sub.target.id
+        return None
+
+    def _exec_assign(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            value = self.eval(node.value)
+            value = self._apply_stream_annotation(node, value)
+            for target in node.targets:
+                self._bind_target(target, value, rhs=node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                return
+            value = self.eval(node.value)
+            value = self._apply_stream_annotation(node, value)
+            self._bind_target(node.target, value, rhs=node.value)
+        elif isinstance(node, ast.AugAssign):
+            value = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                old = self.env.get(node.target.id, UNKNOWN_VALUE)
+                self.env[node.target.id] = old.join(value)
+            elif (
+                isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+            ):
+                key = f"{node.target.value.id}.{node.target.attr}"
+                old = self.env.get(key, UNKNOWN_VALUE)
+                self.env[key] = old.join(value)
+
+    def _apply_stream_annotation(
+        self, node: ast.stmt, value: AbstractValue
+    ) -> AbstractValue:
+        """Honour ``# reprolint: stream=<label>`` on the assignment line."""
+        lineno = getattr(node, "lineno", 0)
+        lines = self.module.context.lines
+        if 0 < lineno <= len(lines):
+            match = _STREAM_ANNOTATION_RE.search(lines[lineno - 1])
+            if match:
+                label = match.group(1)
+                self.created.add(label)
+                self.analysis.record_creation(
+                    label, self.module.name, self.qualname, node
+                )
+                return AbstractValue(stream(label), value.order)
+        return value
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value: AbstractValue,
+        rhs: Optional[ast.expr] = None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value, rhs)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Element-wise when the right side is a matching literal.
+            if (
+                rhs is not None
+                and isinstance(rhs, (ast.Tuple, ast.List))
+                and len(rhs.elts) == len(target.elts)
+            ):
+                for element, expr in zip(target.elts, rhs.elts):
+                    self._bind_target(element, self.eval(expr))
+            else:
+                element = AbstractValue(value.prov, Orderedness.UNKNOWN)
+                for element_target in target.elts:
+                    self._bind_target(element_target, element)
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            key = f"{target.value.id}.{target.attr}"
+            self.env[key] = value
+            # Storing a stream on an object hands the stream over.
+            if value.prov.is_stream:
+                self._note_param_consumption(value.prov)
+        elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            old = self.env.get(target.value.id, UNKNOWN_VALUE)
+            self.env[target.value.id] = AbstractValue(
+                old.prov.join(value.prov), old.order
+            )
+
+    def _note_param_consumption(self, prov: Provenance) -> None:
+        for name, entry in self.param_entry.items():
+            if entry == prov:
+                self.consumed_params.add(name)
+
+    # -- expression evaluation ----------------------------------------
+
+    def eval(self, node: ast.expr) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            return ORDERED_VALUE
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            prov = join_all(self.eval(element).prov for element in node.elts)
+            return AbstractValue(prov, Orderedness.ORDERED)
+        if isinstance(node, (ast.Set,)):
+            prov = join_all(self.eval(element).prov for element in node.elts)
+            return AbstractValue(prov, Orderedness.UNORDERED)
+        if isinstance(node, ast.Dict):
+            prov = join_all(
+                self.eval(value).prov for value in node.values if value is not None
+            )
+            return AbstractValue(prov, Orderedness.ORDERED)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.DictComp):
+            order = self._bind_comprehension_generators(node.generators)
+            self.eval(node.key)
+            prov = self.eval(node.value).prov
+            if isinstance(node, ast.DictComp):
+                order = Orderedness.ORDERED if order is Orderedness.ORDERED else order
+            return AbstractValue(prov, order)
+        if isinstance(node, ast.BoolOp):
+            # ``rng or fallback`` selects one of the operand values.
+            return AbstractValue(
+                join_all(self.eval(value).prov for value in node.values),
+                Orderedness.UNKNOWN,
+            )
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body).join(self.eval(node.orelse))
+        if isinstance(node, ast.BinOp):
+            left, right = self.eval(node.left), self.eval(node.right)
+            # Set algebra (| & - ^) preserves unorderedness; arithmetic
+            # results are scalars and carry no provenance.
+            return AbstractValue(BOTTOM, left.order.join(right.order))
+        if isinstance(node, (ast.Compare, ast.UnaryOp, ast.Lambda, ast.JoinedStr)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr) and not isinstance(node, ast.Lambda):
+                    self.eval(child)
+            return ORDERED_VALUE
+        if isinstance(node, ast.Subscript):
+            base = self.eval(node.value)
+            # The index runs too: options[rng.randrange(n)] is a draw.
+            self.eval(node.slice)
+            return AbstractValue(base.prov, Orderedness.UNKNOWN)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part)
+            return ORDERED_VALUE
+        if isinstance(node, ast.FormattedValue):
+            self.eval(node.value)
+            return ORDERED_VALUE
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value) if node.value is not None else UNKNOWN_VALUE
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.returns = self.returns.join(self.eval(node.value))
+                self.saw_return = True
+            return UNKNOWN_VALUE
+        return UNKNOWN_VALUE
+
+    def _eval_name(self, name: str) -> AbstractValue:
+        if name in self.env:
+            return self.env[name]
+        module_env = self.analysis.module_envs.get(self.module.name)
+        if module_env is None and self.qualname is not None:
+            module_env = self.analysis.module_env(self.module.name)
+        if module_env and name in module_env:
+            return module_env[name]
+        imported = self.scope.from_imports.get(name)
+        if imported is not None:
+            source_env = self.analysis.module_envs.get(imported[0])
+            if source_env and imported[1] in source_env:
+                return source_env[imported[1]]
+        return UNKNOWN_VALUE
+
+    def _eval_attribute(self, node: ast.Attribute) -> AbstractValue:
+        if isinstance(node.value, ast.Name):
+            key = f"{node.value.id}.{node.attr}"
+            if key in self.env:
+                return self.env[key]
+            base = self._eval_name(node.value.id)
+            # An object tagged with a stream "contains" it; reading any
+            # attribute conservatively keeps the tag.
+            return AbstractValue(base.prov, Orderedness.UNKNOWN)
+        base = self.eval(node.value)
+        return AbstractValue(base.prov, Orderedness.UNKNOWN)
+
+    def _eval_comprehension(self, node: ast.expr) -> AbstractValue:
+        order = self._bind_comprehension_generators(node.generators)
+        element = self.eval(node.elt)
+        if isinstance(node, ast.SetComp):
+            order = Orderedness.UNORDERED
+        return AbstractValue(element.prov, order)
+
+    def _bind_comprehension_generators(
+        self, generators: Sequence[ast.comprehension]
+    ) -> Orderedness:
+        order = Orderedness.ORDERED
+        for generator in generators:
+            iterable = self.eval(generator.iter)
+            order = order.join(iterable.order)
+            self._bind_target(
+                generator.target,
+                AbstractValue(iterable.prov, Orderedness.UNKNOWN),
+            )
+            for condition in generator.ifs:
+                self.eval(condition)
+        return order
+
+    # -- calls --------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> AbstractValue:
+        func = node.func
+        arg_values = [self.eval(arg) for arg in node.args]
+        kwarg_values = {
+            kw.arg: self.eval(kw.value) for kw in node.keywords if kw.arg is not None
+        }
+        for kw in node.keywords:
+            if kw.arg is None:  # **kwargs
+                self.eval(kw.value)
+
+        origin = self._origin_value(node, func, arg_values)
+        if origin is not None:
+            return origin
+
+        if isinstance(func, ast.Attribute):
+            result = self._eval_attr_call(node, func, arg_values, kwarg_values)
+            if result is not None:
+                return result
+        if isinstance(func, ast.Name):
+            result = self._eval_builtin_call(node, func.id, arg_values)
+            if result is not None:
+                return result
+
+        return self._eval_resolved_call(node, func, arg_values, kwarg_values)
+
+    def _origin_value(
+        self, node: ast.Call, func: ast.expr, arg_values: List[AbstractValue]
+    ) -> Optional[AbstractValue]:
+        """Stream origin sites: stream()/spawn(), Random(), RngRegistry()."""
+        if isinstance(func, ast.Attribute) and func.attr in ("stream", "spawn"):
+            receiver = self.eval(func.value)
+            name_arg: Optional[ast.expr] = node.args[0] if node.args else None
+            if name_arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "name":
+                        name_arg = kw.value
+            if receiver.prov.is_stream or self._looks_like_registry(func.value):
+                label = (
+                    _literal_label(
+                        name_arg, self.analysis.const_strings.get(self.module.name, {})
+                    )
+                    if name_arg is not None
+                    else None
+                )
+                if label is None:
+                    label = f"{self.module.name}:<dynamic>"
+                self.created.add(label)
+                self.analysis.record_creation(
+                    label, self.module.name, self.qualname, node
+                )
+                return AbstractValue(stream(label), Orderedness.UNKNOWN)
+            return None
+        ctor = _random_ctor_kind(func)
+        if ctor == "Random":
+            if not node.args and not node.keywords:
+                return AbstractValue(TOP_UNSEEDED, Orderedness.UNKNOWN)
+            label = f"Random@{self.module.name}:{getattr(node, 'lineno', 0)}"
+            self.created.add(label)
+            self.analysis.record_creation(label, self.module.name, self.qualname, node)
+            return AbstractValue(stream(label), Orderedness.UNKNOWN)
+        if ctor == "RngRegistry":
+            # Unseeded registries are sanctioned (only the root seed is
+            # entropy; draws replay from it), so both forms get a label.
+            label = f"registry@{self.module.name}:{getattr(node, 'lineno', 0)}"
+            self.created.add(label)
+            self.analysis.record_creation(label, self.module.name, self.qualname, node)
+            return AbstractValue(stream(label), Orderedness.UNKNOWN)
+        return None
+
+    def _looks_like_registry(self, receiver: ast.expr) -> bool:
+        """``x.rng.stream(...)`` / ``registry.stream(...)``: receivers that
+        are conventionally registries even when untagged."""
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr in ("rng", "registry")
+        if isinstance(receiver, ast.Name):
+            return receiver.id in ("rng", "registry", "reg")
+        return False
+
+    def _eval_attr_call(
+        self,
+        node: ast.Call,
+        func: ast.Attribute,
+        arg_values: List[AbstractValue],
+        kwarg_values: Dict[str, AbstractValue],
+    ) -> Optional[AbstractValue]:
+        receiver = self.eval(func.value)
+        if func.attr in DRAW_METHODS and receiver.prov.is_stream:
+            self._record_draw(node, receiver.prov, func.attr)
+            return ORDERED_VALUE
+        if func.attr in _SET_RETURNING_ATTRS:
+            return AbstractValue(
+                receiver.prov.join(join_all(v.prov for v in arg_values)),
+                Orderedness.UNORDERED,
+            )
+        if func.attr in _ORDERED_ATTR_CALLS and not arg_values:
+            order = (
+                Orderedness.UNORDERED
+                if receiver.order is Orderedness.UNORDERED
+                else Orderedness.ORDERED
+            )
+            return AbstractValue(receiver.prov, order)
+        if func.attr in MUTATOR_METHODS and isinstance(func.value, ast.Name):
+            # pool.append(rng): the container now carries the stream.
+            added = join_all(v.prov for v in arg_values)
+            if added.is_stream:
+                old = self.env.get(func.value.id, UNKNOWN_VALUE)
+                self.env[func.value.id] = AbstractValue(
+                    old.prov.join(added), old.order
+                )
+            return ORDERED_VALUE
+        return None
+
+    def _eval_builtin_call(
+        self, node: ast.Call, name: str, arg_values: List[AbstractValue]
+    ) -> Optional[AbstractValue]:
+        first = arg_values[0] if arg_values else UNKNOWN_VALUE
+        if name in _ORDERING_CALLS:
+            return AbstractValue(first.prov, Orderedness.ORDERED)
+        if name in _UNORDERING_CALLS:
+            return AbstractValue(first.prov, Orderedness.UNORDERED)
+        if name in _PRESERVING_CALLS:
+            return AbstractValue(
+                join_all(v.prov for v in arg_values),
+                first.order if arg_values else Orderedness.ORDERED,
+            )
+        if name == "as_completed":
+            return AbstractValue(first.prov, Orderedness.UNORDERED)
+        if name in REDUCER_NAMES:
+            self._record_reduce(node, name, arg_values)
+            return ORDERED_VALUE
+        if name == "partial" and arg_values:
+            # The partial object carries every bound stream.
+            return AbstractValue(
+                join_all(v.prov for v in arg_values[1:]), Orderedness.UNKNOWN
+            )
+        if name in ("min", "max", "len", "any", "all", "abs", "round", "repr", "str"):
+            return ORDERED_VALUE
+        return None
+
+    def _record_reduce(
+        self, node: ast.Call, name: str, arg_values: List[AbstractValue]
+    ) -> None:
+        if not self.record or not node.args:
+            return
+        # reduce(f, iterable) takes the iterable second.
+        index = 1 if name == "reduce" and len(node.args) > 1 else 0
+        if index >= len(arg_values):
+            return
+        if arg_values[index].order is not Orderedness.UNORDERED:
+            return
+        candidate = node.args[index]
+        syntactic = is_setish_expr(candidate, self.known_sets) or (
+            isinstance(candidate, (ast.GeneratorExp, ast.ListComp))
+            and any(
+                is_setish_expr(gen.iter, self.known_sets)
+                for gen in candidate.generators
+            )
+        )
+        self.analysis.events.unordered_reduces.append(
+            UnorderedReduceRecord(
+                module=self.module.name,
+                function=self.qualname,
+                node=candidate,
+                reducer=name,
+                syntactic=syntactic,
+            )
+        )
+
+    def _record_draw(self, node: ast.AST, prov: Provenance, method: str) -> None:
+        if prov.top:
+            self.consumes_top = True
+        elif prov.label is not None:
+            self.consumed.add(prov.label)
+        self._note_param_consumption(prov)
+        if self.record:
+            self.analysis.events.draws.append(
+                DrawRecord(
+                    module=self.module.name,
+                    function=self.qualname,
+                    node=node,
+                    value=prov,
+                    method=method,
+                )
+            )
+            if prov.label is not None and prov.label in self.handed:
+                lineno, callee = self.handed[prov.label]
+                self.analysis.events.reuses.append(
+                    ReuseRecord(
+                        module=self.module.name,
+                        function=self.qualname,
+                        node=node,
+                        label=prov.label,
+                        handoff_lineno=lineno,
+                        callee=callee,
+                    )
+                )
+
+    def _resolve_callee(self, func: ast.expr) -> Optional[str]:
+        """Resolve a call target to a function qualname, including class
+        constructors (``Node(...)`` -> ``module:Node.__init__``)."""
+        resolved = resolve_reference(
+            func,
+            self.module,
+            self.scope,
+            self.analysis.graph,
+            self.analysis.callgraph.scopes,
+            class_name=self.class_name,
+        )
+        if resolved is not None:
+            return resolved
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.scope.classes:
+                candidate = f"{self.module.name}:{name}.__init__"
+                if candidate in self.analysis.callgraph.functions:
+                    return candidate
+            imported = self.scope.from_imports.get(name)
+            if imported is not None:
+                source, original = imported
+                source_scope = self.analysis.callgraph.scopes.get(source)
+                if source_scope and original in source_scope.classes:
+                    candidate = f"{source}:{original}.__init__"
+                    if candidate in self.analysis.callgraph.functions:
+                        return candidate
+        return None
+
+    def _eval_resolved_call(
+        self,
+        node: ast.Call,
+        func: ast.expr,
+        arg_values: List[AbstractValue],
+        kwarg_values: Dict[str, AbstractValue],
+    ) -> AbstractValue:
+        callee = self._resolve_callee(func)
+        stream_args: List[Tuple[int, Optional[str], AbstractValue]] = [
+            (index, None, value)
+            for index, value in enumerate(arg_values)
+            if value.prov.is_stream
+        ] + [
+            (-1, name, value)
+            for name, value in kwarg_values.items()
+            if value.prov.is_stream
+        ]
+        if self.record and stream_args:
+            for index, name, value in stream_args:
+                self.analysis.events.call_stream_args.append(
+                    CallStreamArg(
+                        module=self.module.name,
+                        function=self.qualname,
+                        node=node,
+                        callee=callee,
+                        arg_index=index,
+                        arg_name=name,
+                        value=value.prov,
+                    )
+                )
+        if callee is None:
+            if callee is None and not isinstance(func, (ast.Name, ast.Attribute)):
+                return UNKNOWN_VALUE
+            # Unknown callee: under-approximate -- assume it neither
+            # consumes nor returns streams (no invented findings).
+            return UNKNOWN_VALUE
+
+        info = self.analysis.callgraph.functions[callee]
+        params = _param_names(info.node)
+        is_method_call = info.class_name is not None and (
+            not isinstance(func, ast.Name) or func.id not in self.scope.classes
+        )
+        offset = 0
+        if info.class_name is not None and params and params[0] == "self":
+            offset = 1  # self is implicit at the call site
+        context: List[Provenance] = [BOTTOM] * len(params)
+        for index, value in enumerate(arg_values):
+            slot = index + offset
+            if slot < len(params):
+                context[slot] = value.prov
+        for name, value in kwarg_values.items():
+            if name in params:
+                context[params.index(name)] = value.prov
+        summary = self.analysis.summary(callee, tuple(context))
+
+        # Which of *my* streams did the callee take over?
+        for index, name, value in stream_args:
+            param_name: Optional[str] = None
+            if name is not None and name in summary.consumed_params:
+                param_name = name
+            elif index >= 0:
+                slot = index + offset
+                if slot < len(params) and params[slot] in summary.consumed_params:
+                    param_name = params[slot]
+            if param_name is not None:
+                label = value.prov.label
+                if label is not None and label not in self.handed:
+                    self.handed[label] = (getattr(node, "lineno", 0), callee)
+                self._note_param_consumption(value.prov)
+        for label in summary.consumed:
+            if not label.startswith("param:"):
+                self.consumed.add(label)
+        if summary.consumes_top:
+            self.consumes_top = True
+
+        if callee.endswith(".__init__"):
+            # The instance carries every stream the constructor retained.
+            retained = join_all(
+                value.prov
+                for index, name, value in stream_args
+            )
+            return AbstractValue(retained, Orderedness.UNKNOWN)
+        return summary.returns
+
+
+def _random_ctor_kind(func: ast.expr) -> Optional[str]:
+    """``"Random"`` / ``"RngRegistry"`` when ``func`` is one of those ctors."""
+    if isinstance(func, ast.Attribute):
+        if func.attr == "Random" and isinstance(func.value, ast.Name):
+            if func.value.id == "random":
+                return "Random"
+        if func.attr == "RngRegistry":
+            return "RngRegistry"
+        return None
+    if isinstance(func, ast.Name):
+        if func.id == "Random":
+            return "Random"
+        if func.id == "RngRegistry":
+            return "RngRegistry"
+    return None

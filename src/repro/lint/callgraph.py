@@ -8,7 +8,11 @@ be resolved statically to a known function:
 * ``f(...)`` where ``f`` was bound by ``from repro.x import f`` and the
   target module defines it at top level;
 * ``mod.f(...)`` where ``mod`` is an imported repro module (or alias);
-* ``self.m(...)`` inside a class whose body defines method ``m``.
+* ``self.m(...)`` inside a class whose body defines method ``m``;
+* ``Cls(...)`` for a project class -- the edge goes to
+  ``Cls.__init__`` (entering the class runs its constructor);
+* ``obj.m(...)`` where ``obj`` is a local bound by ``obj = Cls(...)``
+  in the same function (one level of local type tracking).
 
 Anything dynamic (dict dispatch, ``getattr``, higher-order parameters)
 is skipped.  Rules built on reachability therefore miss some paths
@@ -212,6 +216,50 @@ def resolve_reference(
     return None
 
 
+def resolve_class(
+    name: str,
+    module: ProjectModule,
+    scope: ModuleScope,
+    scopes: Dict[str, ModuleScope],
+) -> Optional[Tuple[str, str]]:
+    """Resolve a bare name to ``(module, class)`` for a project class,
+    locally defined or from-imported."""
+    if name in scope.classes:
+        return module.name, name
+    imported = scope.from_imports.get(name)
+    if imported is not None:
+        source, original = imported
+        source_scope = scopes.get(source)
+        if source_scope is not None and original in source_scope.classes:
+            return source, original
+    return None
+
+
+def _local_instance_types(
+    func: ast.AST,
+    module: ProjectModule,
+    scope: ModuleScope,
+    scopes: Dict[str, ModuleScope],
+) -> Dict[str, Tuple[str, str]]:
+    """One level of local type tracking: ``var = ClassName(...)`` locals
+    mapped to their ``(module, class)``, so ``var.method(...)`` calls
+    resolve to project methods."""
+    out: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        ctor = node.value.func
+        if not isinstance(ctor, ast.Name):
+            continue
+        klass = resolve_class(ctor.id, module, scope, scopes)
+        if klass is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = klass
+    return out
+
+
 def build_callgraph(graph: ImportGraph) -> CallGraph:
     """Build the project call graph from a loaded import graph."""
     callgraph = CallGraph()
@@ -236,10 +284,31 @@ def build_callgraph(graph: ImportGraph) -> CallGraph:
     for qualname, info in callgraph.functions.items():
         module = graph.modules[info.module]
         scope = scopes[info.module]
+        local_types = _local_instance_types(info.node, module, scope, scopes)
         for expr in _callable_references(info.node):
             resolved = resolve_reference(
                 expr, module, scope, graph, scopes, class_name=info.class_name
             )
+            if (
+                resolved is None
+                and isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+            ):
+                # est = Estimator(); est.observe(...) -> Estimator.observe.
+                typed = local_types.get(expr.value.id)
+                if typed is not None:
+                    owner_module, owner_class = typed
+                    methods = scopes[owner_module].classes.get(owner_class, set())
+                    if expr.attr in methods:
+                        resolved = f"{owner_module}:{owner_class}.{expr.attr}"
+            if resolved is None and isinstance(expr, ast.Name):
+                # Estimator(...) (or Estimator passed as a callback):
+                # entering the class runs its constructor.
+                klass = resolve_class(expr.id, module, scope, scopes)
+                if klass is not None:
+                    candidate = f"{klass[0]}:{klass[1]}.__init__"
+                    if candidate in callgraph.functions:
+                        resolved = candidate
             if resolved is not None and resolved != qualname:
                 callgraph.add_edge(qualname, resolved)
     return callgraph

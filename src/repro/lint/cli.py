@@ -1,12 +1,20 @@
 """Command-line entry point: ``python -m repro.lint`` / ``repro-lint``.
 
-Two modes:
+Three modes:
 
 * **per-file** (default): run the RL0xx rules over the given paths;
 * **project** (``--project``): additionally build the import graph and
   call graph over the ``repro`` package and run the whole-program RL1xx
   rules, with per-file linting fanned out over ``--jobs`` worker
-  processes via :func:`repro.parallel.parallel_map`.
+  processes via :func:`repro.parallel.parallel_map`;
+* **flows** (``--flows``, implies ``--project``): also run the
+  flow-sensitive abstract interpretation and the RL2xx provenance/
+  shard-safety rules.
+
+Project-mode runs keep an incremental cache (``.reprolint-cache.json``
+next to pyproject.toml) so warm runs skip unchanged files; ``--no-cache``
+opts out.  ``--fix`` rewrites the mechanical findings (RL004, RL006) in
+place before linting.
 
 Output formats (``--output`` / legacy ``-f/--format``): ``text``,
 ``json`` (schema-versioned payload), and ``sarif`` (SARIF 2.1.0, for CI
@@ -31,9 +39,11 @@ from repro.lint.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.lint.cache import DEFAULT_CACHE_NAME, LintCache, ruleset_signature
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import LintEngine, registered_rules
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow_rules import registered_flow_rules
 from repro.lint.project import ProjectReport, lint_project
 from repro.lint.project_rules import registered_project_rules
 from repro.lint.sarif import render_sarif
@@ -67,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--project",
         action="store_true",
         help="whole-program mode: run the RL1xx cross-module rules too",
+    )
+    parser.add_argument(
+        "--flows",
+        action="store_true",
+        help="flow analysis mode (implies --project): run the RL2xx "
+        "RNG-provenance and shard-safety rules",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite mechanical findings in place (RL004 mutable "
+        "defaults, RL006 swallowed exceptions) before linting",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache "
+        f"({DEFAULT_CACHE_NAME}, project mode only)",
     )
     parser.add_argument(
         "-j",
@@ -192,11 +220,20 @@ def _rule_metadata(rule_ids: Sequence[str]) -> List[Tuple[str, str, Severity]]:
     registry: Dict[str, type] = {}
     registry.update(registered_rules())
     registry.update(registered_project_rules())
+    registry.update(registered_flow_rules())
     return [
         (rule_id, registry[rule_id].summary, registry[rule_id].severity)
         for rule_id in sorted(rule_ids)
         if rule_id in registry
     ]
+
+
+def _cache_path(config: LintConfig) -> Path:
+    """The incremental cache lives next to the resolved pyproject.toml
+    (so one cache serves the repo), or in the cwd without one."""
+    if config.source != "<defaults>":
+        return Path(config.source).parent / DEFAULT_CACHE_NAME
+    return Path(DEFAULT_CACHE_NAME)
 
 
 def _default_baseline(args: argparse.Namespace, config: LintConfig) -> Optional[Path]:
@@ -221,12 +258,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     file_registry = registered_rules()
     project_registry = registered_project_rules()
+    flow_registry = registered_flow_rules()
     if args.list_rules:
-        combined = {**file_registry, **project_registry}
+        combined = {**file_registry, **project_registry, **flow_registry}
         for rule_id, cls in sorted(combined.items()):
-            scope = "project" if rule_id in project_registry else "file"
+            if rule_id in flow_registry:
+                scope = "flow"
+            elif rule_id in project_registry:
+                scope = "project"
+            else:
+                scope = "file"
             print(f"{rule_id}  [{cls.severity.value}]  [{scope}]  {cls.summary}")
         return 0
+
+    if args.flows:
+        args.project = True
 
     if args.select is not None and not _split_rules(args.select):
         print("repro-lint: --select got no rule ids", file=sys.stderr)
@@ -244,15 +290,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     known_ids: Set[str] = set(file_registry)
     if args.project:
         known_ids |= set(project_registry)
+    if args.flows:
+        known_ids |= set(flow_registry)
     unknown = [
         rule_id
         for rule_id in (config.enable or []) + list(config.disable)
         if rule_id not in known_ids
     ]
     if unknown:
+        hint = ""
+        if not args.project:
+            hint = " (RL1xx rules need --project, RL2xx rules need --flows)"
+        elif not args.flows:
+            hint = " (RL2xx rules need --flows)"
         print(
             f"repro-lint: unknown rule id(s): {', '.join(sorted(set(unknown)))}"
-            + ("" if args.project else " (RL1xx rules need --project)"),
+            + hint,
             file=sys.stderr,
         )
         return 2
@@ -260,6 +313,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     selected = config.selected_rule_ids(sorted(known_ids))
     file_rule_ids = [rule_id for rule_id in selected if rule_id in file_registry]
     project_rule_ids = [rule_id for rule_id in selected if rule_id in project_registry]
+    flow_rule_ids = [rule_id for rule_id in selected if rule_id in flow_registry]
 
     paths = list(args.paths) or list(config.paths)
     missing = [path for path in paths if not Path(path).exists()]
@@ -267,17 +321,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-lint: path(s) not found: {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    if args.fix:
+        from repro.lint.fixes import fix_paths
+
+        files_changed, applied = fix_paths(paths)
+        print(
+            f"repro-lint: applied {applied} fix(es) in {files_changed} file(s)",
+            file=sys.stderr,
+        )
+
     if args.project:
+        cache = None
+        if not args.no_cache:
+            signature = ruleset_signature(
+                _tool_version(), file_rule_ids, project_rule_ids, flow_rule_ids
+            )
+            cache = LintCache.load(_cache_path(config), signature)
         report = lint_project(
             paths,
             rule_ids=file_rule_ids,
             project_rule_ids=project_rule_ids,
+            flow_rule_ids=flow_rule_ids,
             jobs=args.jobs,
+            cache=cache,
         )
-        if project_rule_ids and not report.analyzed_project:
+        if (project_rule_ids or flow_rule_ids) and not report.analyzed_project:
             print(
                 "repro-lint: --project found no importable 'repro' package "
-                "under the given paths; RL1xx rules were skipped",
+                "under the given paths; RL1xx/RL2xx rules were skipped",
                 file=sys.stderr,
             )
     else:

@@ -167,8 +167,14 @@ def local_bindings(func: ast.AST) -> Set[str]:
 
 def setish_names(scope: ast.AST, module_tree: Optional[ast.Module] = None) -> Set[str]:
     """Names statically known to hold a ``set``/``frozenset`` value:
-    locals of ``scope`` plus (optionally) module-level globals."""
-    out: Set[str] = set()
+    locals of ``scope`` plus (optionally) module-level globals.
+
+    A name only qualifies when *every* assignment to it is setish: the
+    common ``seen = sorted(seen)`` rebinding turns the value back into a
+    deterministic list, so names with any non-setish assignment are
+    demoted (to a fixed point, since demoting one name can falsify
+    ``s = s | t`` for another)."""
+    assignments: List[Tuple[str, ast.AST]] = []
     sources: List[ast.AST] = [scope]
     if module_tree is not None:
         sources.append(module_tree)
@@ -177,12 +183,25 @@ def setish_names(scope: ast.AST, module_tree: Optional[ast.Module] = None) -> Se
         for node in nodes:
             if isinstance(node, (ast.Assign, ast.AnnAssign)):
                 value = node.value
-                if value is None or not is_setish_expr(value, frozenset()):
+                if value is None:
                     continue
                 targets = node.targets if isinstance(node, ast.Assign) else [node.target]
                 for target in targets:
                     if isinstance(target, ast.Name):
-                        out.add(target.id)
+                        assignments.append((target.id, value))
+    out: Set[str] = {
+        name
+        for name, value in assignments
+        if is_setish_expr(value, frozenset())
+    }
+    changed = True
+    while changed:
+        changed = False
+        known = frozenset(out)
+        for name, value in assignments:
+            if name in out and not is_setish_expr(value, known):
+                out.discard(name)
+                changed = True
     return out
 
 

@@ -1,0 +1,469 @@
+"""Flow rules (RL201-RL205), run by ``repro-lint --flows``.
+
+These consume the events collected by the abstract interpreter in
+:mod:`repro.lint.absint` -- stream draws, stream-tagged call arguments,
+hand-off records, unordered reductions -- plus the same call graph the
+RL10x rules use, and encode the *flow* invariants the replication
+statistics depend on:
+
+* every replicate draws from its **own** spawned stream (RL201, RL202);
+* nothing unreplayable reaches decision code (RL203);
+* floating-point reductions see a deterministic operand order (RL204);
+* worker-side state leaves the worker only through the envelope
+  reduction (RL205).
+
+Like everything else in the project layer the rules are deliberately
+under-approximate: they fire only on definite evidence (a resolved
+callee, a ⊤u tag, a definitely-unordered operand), so a finding is
+worth reading and a clean run does not mean "proved safe" -- it means
+"nothing statically visible is wrong".
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Type
+
+from repro.lint.absint import FlowAnalysis
+from repro.lint.dataflow import MUTATOR_METHODS, is_mutable_literal
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ProjectModule
+from repro.lint.project_rules import (
+    ProjectContext,
+    _iter_pool_call_sites,
+    _worker_roots,
+)
+
+#: Packages whose code makes simulation/strategy decisions; ⊤u
+#: provenance must not reach them (RL203).
+DECISION_PACKAGES = frozenset({"core", "sim", "dca"})
+
+#: Synthetic label prefixes that do not name a concrete stream object
+#: created at a known site (parameters get per-function placeholders).
+_SYNTHETIC_PREFIXES = ("param:",)
+
+
+class FlowRule(abc.ABC):
+    """Base class for flow rules: whole-program, fed by the analysis."""
+
+    rule_id: str = "RL299"
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+
+    @abc.abstractmethod
+    def check(
+        self, project: ProjectContext, analysis: FlowAnalysis
+    ) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+    def finding(
+        self, module: ProjectModule, node: Optional[ast.AST], message: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=(getattr(node, "col_offset", 0) + 1) if node is not None else 1,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_FLOW_REGISTRY: Dict[str, Type[FlowRule]] = {}
+
+
+def register_flow(cls: Type[FlowRule]) -> Type[FlowRule]:
+    """Class decorator adding a flow rule to the registry."""
+    if cls.rule_id in _FLOW_REGISTRY:
+        raise ValueError(f"duplicate flow rule id {cls.rule_id}")
+    _FLOW_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_flow_rules() -> Dict[str, Type[FlowRule]]:
+    """The flow-rule registry, keyed by rule id."""
+    return dict(_FLOW_REGISTRY)
+
+
+def _is_synthetic(label: str) -> bool:
+    return label.startswith(_SYNTHETIC_PREFIXES)
+
+
+def _display_label(label: str) -> str:
+    """Human-readable form of an analysis label for messages."""
+    if label.startswith("param:"):
+        _, qualname, param = label.split(":", 2) if label.count(":") >= 2 else (
+            "param",
+            "?",
+            label,
+        )
+        return f"the '{param}' parameter stream"
+    return f"stream '{label}'"
+
+
+@register_flow
+class CrossReplicateStreamRule(FlowRule):
+    """RL201: one RNG stream must never be visible to two replicate /
+    shard contexts.  Replicates are i.i.d. only while each draws from
+    its own ``spawn(...)``-derived stream; a shared stream correlates
+    them (and, across processes, silently desynchronizes jobs=1 from
+    jobs=N).  Two shapes are caught:
+
+    * a stream-tagged value passed straight into a pool fan-out call --
+      every worker receives (a pickled copy of) the same stream;
+    * a draw, inside worker-reachable code, from a stream created
+      *outside* the worker-reachable region (module level or a
+      driver-side function): each worker process re-creates the same
+      stream and every replicate replays identical draws.
+    """
+
+    rule_id = "RL201"
+    summary = "no RNG stream shared across replicate/shard contexts"
+
+    def check(
+        self, project: ProjectContext, analysis: FlowAnalysis
+    ) -> Iterator[Finding]:
+        pool_sites = {
+            id(ref.call): ref for ref in _iter_pool_call_sites(project)
+        }
+        seen: Set[Tuple[str, int]] = set()
+        for record in analysis.events.call_stream_args:
+            ref = pool_sites.get(id(record.node))
+            if ref is None:
+                continue
+            key = (record.module, getattr(record.node, "lineno", 0))
+            if key in seen:
+                continue
+            seen.add(key)
+            label = (
+                _display_label(record.value.label)
+                if record.value.label is not None
+                else "an RNG stream"
+            )
+            yield self.finding(
+                project.modules[record.module],
+                record.node,
+                f"{label} is passed into a process-pool fan-out; every "
+                "replicate would share (a copy of) the same stream and "
+                "draws stop being i.i.d. -- derive one stream per "
+                "replicate with registry.spawn(...) inside the worker",
+            )
+
+        roots = _worker_roots(project)
+        if not roots:
+            return
+        reachable = project.callgraph.reachable(roots)
+        flagged: Set[Tuple[str, Optional[str]]] = set()
+        for draw in analysis.events.draws:
+            label = draw.value.label
+            if label is None or _is_synthetic(label):
+                continue
+            if draw.function is None or draw.function not in reachable:
+                continue
+            sites = analysis.events.created_at.get(label)
+            if not sites:
+                continue
+            if any(
+                site.function is not None and site.function in reachable
+                for site in sites
+            ):
+                continue  # (also) created inside the worker region: per-worker
+            key = (label, draw.function)
+            if key in flagged:
+                continue
+            flagged.add(key)
+            outside = sites[0]
+            where = (
+                f"{outside.module}:{outside.lineno}"
+                if outside.function is None
+                else f"{outside.function.split(':', 1)[1]}() "
+                f"({outside.module}:{outside.lineno})"
+            )
+            yield self.finding(
+                project.modules[draw.module],
+                draw.node,
+                f"worker-reachable {draw.function.split(':', 1)[1]}() draws "
+                f"from {_display_label(label)} created outside the worker "
+                f"region (at {where}); every worker process re-creates the "
+                "same stream, so replicates replay identical draws -- "
+                "spawn a per-replicate stream instead",
+            )
+
+
+@register_flow
+class StreamReuseAfterHandoffRule(FlowRule):
+    """RL202: once a stream is handed to a consuming callee (one that
+    draws from it, stores it, or passes it on), the parent scope must
+    not keep drawing from it.  Parent and child would interleave draws
+    on one generator, so any change to either side's draw count shifts
+    the other's sequence -- the classic action-at-a-distance
+    reproducibility bug."""
+
+    rule_id = "RL202"
+    summary = "no draws from a stream after it was handed off to a consuming callee"
+
+    def check(
+        self, project: ProjectContext, analysis: FlowAnalysis
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[str, Optional[str], str]] = set()
+        for record in analysis.events.reuses:
+            key = (record.module, record.function, record.label)
+            if key in seen:
+                continue
+            seen.add(key)
+            callee = (
+                record.callee.split(":", 1)[1]
+                if record.callee is not None
+                else "a callee"
+            )
+            where = (
+                record.function.split(":", 1)[1] + "()"
+                if record.function is not None
+                else "module-level code"
+            )
+            yield self.finding(
+                project.modules[record.module],
+                record.node,
+                f"{where} draws from {_display_label(record.label)} after "
+                f"handing it off to {callee}() on line "
+                f"{record.handoff_lineno}; parent and child now interleave "
+                "draws on one generator -- spawn a child stream for the "
+                "hand-off instead",
+            )
+
+
+@register_flow
+class UnseededEscapeRule(FlowRule):
+    """RL203: ⊤u provenance -- an unseeded ``random.Random()``, seeded
+    from OS entropy -- must not reach decision code in ``core``, ``sim``
+    or ``dca``.  Any draw it feeds is unreplayable, which voids the
+    paper's same-seed trace guarantee for the whole run."""
+
+    rule_id = "RL203"
+    summary = "no unseeded (⊤u) RNG may flow into core/sim/dca decision code"
+
+    def check(
+        self, project: ProjectContext, analysis: FlowAnalysis
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int]] = set()
+        for record in analysis.events.call_stream_args:
+            if not record.value.unseeded or record.callee is None:
+                continue
+            callee_module = record.callee.split(":", 1)[0]
+            target = project.modules.get(callee_module)
+            if target is None or target.package not in DECISION_PACKAGES:
+                continue
+            key = (record.module, getattr(record.node, "lineno", 0))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                project.modules[record.module],
+                record.node,
+                "an unseeded random.Random() (⊤ provenance, OS-entropy "
+                f"seeded) flows into {record.callee.split(':', 1)[1]}() in "
+                f"the '{target.package}' layer; its draws cannot be "
+                "replayed -- pass a registry stream or an explicit seed",
+            )
+        for draw in analysis.events.draws:
+            if not draw.value.unseeded:
+                continue
+            module = project.modules[draw.module]
+            if module.package not in DECISION_PACKAGES:
+                continue
+            key = (draw.module, getattr(draw.node, "lineno", 0))
+            if key in seen:
+                continue
+            seen.add(key)
+            where = (
+                draw.function.split(":", 1)[1] + "()"
+                if draw.function is not None
+                else "module-level code"
+            )
+            yield self.finding(
+                module,
+                draw.node,
+                f"{where} in the '{module.package}' layer draws "
+                f"({draw.method}) from an unseeded random.Random(); the "
+                "draw cannot be replayed -- derive the stream from the "
+                "registry or take an explicit seed",
+            )
+
+
+@register_flow
+class UnorderedAccumulationRule(FlowRule):
+    """RL204: float accumulation is not associative, so a reduction fed
+    by a definitely-unordered value (set iteration, ``as_completed``
+    results, anything the domain joined to UNORDERED) changes value with
+    hash seed and completion order.  Syntactically-visible set operands
+    are RL104's to report; this rule catches the ones only the flow
+    analysis can see -- unorderedness arriving through assignments,
+    calls, or containers."""
+
+    rule_id = "RL204"
+    summary = "no order-sensitive float reduction over unordered iteration"
+
+    def check(
+        self, project: ProjectContext, analysis: FlowAnalysis
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, int]] = set()
+        for record in analysis.events.unordered_reduces:
+            if record.syntactic:
+                continue  # RL104 already owns the syntactic case
+            key = (
+                record.module,
+                getattr(record.node, "lineno", 0),
+                getattr(record.node, "col_offset", 0),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            module = project.modules[record.module]
+            if record.reducer == "for-loop":
+                yield self.finding(
+                    module,
+                    record.node,
+                    f"loop accumulates into '{record.accumulator}' while "
+                    "iterating a value the flow analysis proves unordered "
+                    "(set-derived or completion-ordered); float "
+                    "accumulation is order-sensitive -- sort the iterable "
+                    "or reduce positionally",
+                )
+            else:
+                yield self.finding(
+                    module,
+                    record.node,
+                    f"{record.reducer}() consumes a value the flow analysis "
+                    "proves unordered (set-derived or completion-ordered); "
+                    "the reduction depends on hash/completion order -- "
+                    "sort first, or reduce parallel_map results in "
+                    "submission order",
+                )
+
+
+@register_flow
+class WorkerEstimatorStateRule(FlowRule):
+    """RL205: mutable *class-level* state written from worker-reachable
+    code never leaves the worker process -- each worker mutates its own
+    copy and the mutation is dropped on exit, so jobs=1 and jobs=N
+    silently diverge.  This is the class-attribute sibling of RL103
+    (module globals): learning/stateful strategies must return their
+    per-replicate observations through the envelope reduction
+    (``ReplicateEnvelope`` + ``aggregate_metrics``), not accumulate them
+    in shared estimator state."""
+
+    rule_id = "RL205"
+    summary = "worker-reachable code must not mutate class-level mutable state"
+
+    def check(
+        self, project: ProjectContext, analysis: FlowAnalysis
+    ) -> Iterator[Finding]:
+        roots = _worker_roots(project)
+        if not roots:
+            return
+        reachable = project.callgraph.reachable(roots)
+        for name, module in sorted(project.modules.items()):
+            for classdef in module.context.tree.body:
+                if not isinstance(classdef, ast.ClassDef):
+                    continue
+                shared = self._class_mutable_attrs(classdef)
+                if not shared:
+                    continue
+                for method in classdef.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    qualname = f"{name}:{classdef.name}.{method.name}"
+                    if qualname not in reachable:
+                        continue
+                    for attr, node in self._self_attr_mutations(method, shared):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{classdef.name}.{method.name}() mutates "
+                            f"class-level '{attr}' but is reachable from a "
+                            "process-pool worker; per-process mutations are "
+                            "dropped on worker exit and jobs=1/jobs=N "
+                            "diverge -- return per-replicate metrics via "
+                            "the ReplicateEnvelope reduction instead",
+                        )
+
+    @staticmethod
+    def _class_mutable_attrs(classdef: ast.ClassDef) -> FrozenSet[str]:
+        """Class-body names bound to mutable literals and never rebound
+        as instance attributes in ``__init__`` (which would shadow the
+        class attribute with per-instance state)."""
+        attrs: Set[str] = set()
+        for stmt in classdef.body:
+            if isinstance(stmt, ast.Assign) and is_mutable_literal(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        attrs.add(target.id)
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and stmt.value is not None
+                and is_mutable_literal(stmt.value)
+                and isinstance(stmt.target, ast.Name)
+            ):
+                attrs.add(stmt.target.id)
+        if not attrs:
+            return frozenset()
+        for stmt in classdef.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"
+            ):
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Assign):
+                        for target in node.targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                attrs.discard(target.attr)
+        return frozenset(attrs)
+
+    @staticmethod
+    def _self_attr_mutations(
+        method: ast.AST, shared: FrozenSet[str]
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        """``self.X`` mutations of shared class attrs inside ``method``:
+        mutator calls, subscript stores, and augmented assignments."""
+
+        def self_attr(expr: ast.AST) -> Optional[str]:
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id in ("self", "cls")
+                and expr.attr in shared
+            ):
+                return expr.attr
+            return None
+
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in MUTATOR_METHODS:
+                    attr = self_attr(node.func.value)
+                    if attr is not None:
+                        yield attr, node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = self_attr(target.value)
+                        if attr is not None:
+                            yield attr, node
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Subscript):
+                    attr = self_attr(target.value)
+                    if attr is not None:
+                        yield attr, node
+                else:
+                    attr = self_attr(target)
+                    if attr is not None:
+                        yield attr, node

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.lint.cache import LintCache, file_sha, tree_hash
 from repro.lint.engine import LintEngine, iter_python_files, registered_rules, suppressions
 from repro.lint.findings import Finding
 from repro.lint.graph import find_package_root, load_project
@@ -52,13 +53,16 @@ def _lint_file_worker(item: Tuple[str, Tuple[str, ...]]) -> Tuple[List[Finding],
 
 
 def run_project_rules(
-    paths: Sequence[str], project_rule_ids: Sequence[str]
+    paths: Sequence[str],
+    project_rule_ids: Sequence[str],
+    flow_rule_ids: Sequence[str] = (),
 ) -> Tuple[List[Finding], int, bool]:
     """Run whole-program rules over the ``repro`` package in ``paths``.
 
     Returns (findings, suppressed count, package-root-found).  Findings
     honour the same inline/file/next-line suppression comments as the
-    per-file rules.
+    per-file rules.  When ``flow_rule_ids`` is non-empty the abstract
+    interpreter runs once and the RL2xx flow rules share its result.
     """
     root = find_package_root(paths)
     if root is None:
@@ -72,16 +76,31 @@ def run_project_rules(
     }
     findings: List[Finding] = []
     suppressed = 0
+
+    def admit(finding: Finding) -> None:
+        nonlocal suppressed
+        silenced = silenced_by_path.get(finding.path, {})
+        if finding.rule_id in silenced.get(0, set()) or finding.rule_id in silenced.get(
+            finding.line, set()
+        ):
+            suppressed += 1
+            return
+        findings.append(finding)
+
     for rule_id in sorted(project_rule_ids):
         rule = registry[rule_id]()
         for finding in rule.check(project):
-            silenced = silenced_by_path.get(finding.path, {})
-            if finding.rule_id in silenced.get(0, set()) or finding.rule_id in silenced.get(
-                finding.line, set()
-            ):
-                suppressed += 1
-                continue
-            findings.append(finding)
+            admit(finding)
+    if flow_rule_ids:
+        from repro.lint.absint import FlowAnalysis
+        from repro.lint.flow_rules import registered_flow_rules
+
+        analysis = FlowAnalysis.build(project.graph, project.callgraph)
+        flow_registry = registered_flow_rules()
+        for rule_id in sorted(flow_rule_ids):
+            rule = flow_registry[rule_id]()
+            for finding in rule.check(project, analysis):
+                admit(finding)
     return findings, suppressed, True
 
 
@@ -90,34 +109,66 @@ def lint_project(
     *,
     rule_ids: Sequence[str],
     project_rule_ids: Sequence[str],
+    flow_rule_ids: Sequence[str] = (),
     jobs: Optional[int] = 1,
+    cache: Optional[LintCache] = None,
 ) -> ProjectReport:
     """Run the full project analysis: per-file rules (parallel) plus
-    whole-program rules (in-process)."""
+    whole-program rules (in-process).
+
+    With ``cache``, per-file results are reused for files whose sha256
+    is unchanged and the whole-program pass is reused when the entire
+    tree hash matches; the findings are byte-identical either way.
+    """
     report = ProjectReport()
     files = [str(path) for path in iter_python_files(paths)]
     report.files_checked = len(files)
+    shas: Dict[str, str] = {}
+    if cache is not None:
+        shas = {path: file_sha(path) for path in files}
+        cache.prune(files)
     if rule_ids and files:
-        if jobs is not None and jobs <= 1:
-            for path in files:
-                findings, suppressed = _lint_file_worker((path, tuple(rule_ids)))
+        pending: List[str] = []
+        for path in files:
+            hit = (
+                cache.get_file(path, shas[path]) if cache is not None else None
+            )
+            if hit is not None:
+                findings, suppressed = hit
                 report.findings.extend(findings)
                 report.suppressed += suppressed
-        else:
-            from repro.parallel import parallel_map
+            else:
+                pending.append(path)
+        if pending:
+            items = [(path, tuple(rule_ids)) for path in pending]
+            if jobs is not None and jobs <= 1:
+                results = [_lint_file_worker(item) for item in items]
+            else:
+                from repro.parallel import parallel_map
 
-            items = [(path, tuple(rule_ids)) for path in files]
-            for findings, suppressed in parallel_map(
-                _lint_file_worker, items, jobs=jobs
-            ):
+                results = parallel_map(_lint_file_worker, items, jobs=jobs)
+            for path, (findings, suppressed) in zip(pending, results):
                 report.findings.extend(findings)
                 report.suppressed += suppressed
-    if project_rule_ids:
-        project_findings, suppressed, analyzed = run_project_rules(
-            paths, project_rule_ids
-        )
+                if cache is not None:
+                    cache.put_file(path, shas[path], findings, suppressed)
+    if project_rule_ids or flow_rule_ids:
+        project_key = tree_hash(shas) if cache is not None else ""
+        hit = cache.get_project(project_key) if cache is not None else None
+        if hit is not None:
+            project_findings, suppressed, analyzed = hit
+        else:
+            project_findings, suppressed, analyzed = run_project_rules(
+                paths, project_rule_ids, flow_rule_ids
+            )
+            if cache is not None:
+                cache.put_project(
+                    project_key, project_findings, suppressed, analyzed
+                )
         report.findings.extend(project_findings)
         report.suppressed += suppressed
         report.analyzed_project = analyzed
+    if cache is not None:
+        cache.save()
     report.findings.sort()
     return report

@@ -424,6 +424,27 @@ def _worker_roots(project: ProjectContext) -> Set[str]:
         resolved = resolve_reference(
             ref.worker, ref.module, scope, project.graph, project.callgraph.scopes
         )
+        if resolved is None and ref.enclosing is not None:
+            # parallel_map(self.work, ...): a bound-method worker (RL102
+            # flags it, but it still runs in the workers -- reachability
+            # rules must see through it).
+            worker = ref.worker
+            _, _, enclosing_name = ref.enclosing.partition(":")
+            class_name = enclosing_name.split(".", 1)[0] if "." in enclosing_name else None
+            if (
+                class_name is not None
+                and isinstance(worker, ast.Attribute)
+                and isinstance(worker.value, ast.Name)
+                and worker.value.id == "self"
+            ):
+                resolved = resolve_reference(
+                    worker,
+                    ref.module,
+                    scope,
+                    project.graph,
+                    project.callgraph.scopes,
+                    class_name=class_name,
+                )
         if resolved is not None:
             roots.add(resolved)
     return roots

@@ -1,0 +1,194 @@
+"""The RNG-provenance lattice used by the flow analysis (``--flows``).
+
+Every abstract value the interpreter in :mod:`repro.lint.absint` tracks
+carries two independent facts:
+
+* **provenance** -- which RNG stream (if any) the value originates from.
+  The provenance lattice is flat over the labels, with a two-point chain
+  on top::
+
+          ⊤u (an *unseeded* stream -- no replayable identity at all)
+          │
+          ⊤  (a stream of merged/unknown but still seeded provenance)
+        / | \\
+      "a" "b" "c" ...   (one known stream label)
+        \\ | /
+          ⊥  (not derived from any RNG stream)
+
+  A value acquires a label at an origin site -- ``RngRegistry.spawn(...)``,
+  ``registry.stream(...)``, a seeded ``random.Random(seed)``, or a
+  stream-taking parameter -- and keeps it through assignments, calls,
+  containers, and closures.  Joining two *different* labels loses the
+  identity and yields ⊤ (e.g. the ``rng or random.Random(0)`` fallback
+  idiom: definitely *some* deterministic stream, just not a single known
+  one), while an unseeded ``random.Random()`` mints ⊤u directly --
+  OS-entropy seeded, nothing to replay -- and ⊤u is absorbing: once
+  unseeded provenance mixes in, it never washes out.  The distinction is
+  what lets RL203 flag only genuinely unreplayable RNGs.
+
+* **orderedness** -- whether iterating the value visits elements in a
+  deterministic order.  This is a three-point chain
+  ``ORDERED < UNKNOWN < UNORDERED`` whose join is "most pessimistic
+  wins"; sets and ``as_completed(...)`` are UNORDERED, ``sorted(...)``
+  re-establishes ORDERED.
+
+Both lattices are finite, so the usual algebraic laws (commutativity,
+associativity, idempotence of join; monotonicity of the transfer
+functions built on join) are directly property-testable -- see
+``tests/lint/test_provenance.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """One point of the flat RNG-provenance lattice.
+
+    ``label is None and not top`` is ⊥ (no RNG provenance); a non-None
+    ``label`` is a single known stream; ``top`` is ⊤ (a stream whose
+    single identity was lost by merging); ``top and unseeded`` is ⊤u (a
+    stream that never had a replayable identity -- an unseeded
+    ``random.Random()``).
+    """
+
+    label: Optional[str] = None
+    top: bool = False
+    unseeded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.top and self.label is not None:
+            raise ValueError("⊤ carries no label")
+        if self.unseeded and not self.top:
+            raise ValueError("unseeded provenance is a kind of ⊤")
+
+    @property
+    def is_stream(self) -> bool:
+        """True when the value is (or contains) an RNG stream at all."""
+        return self.top or self.label is not None
+
+    @property
+    def is_bottom(self) -> bool:
+        return not self.is_stream
+
+    def join(self, other: "Provenance") -> "Provenance":
+        """Least upper bound of two lattice points."""
+        if self == other:
+            return self
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        # ⊤u is absorbing: unseeded provenance never washes out.
+        if self.unseeded or other.unseeded:
+            return TOP_UNSEEDED
+        # Two distinct seeded streams (or ⊤ itself): identity lost.
+        return TOP
+
+    def leq(self, other: "Provenance") -> bool:
+        """The lattice partial order (``self`` ⊑ ``other``)."""
+        return self.join(other) == other
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        if self.unseeded:
+            return "⊤u"
+        if self.top:
+            return "⊤"
+        if self.label is None:
+            return "⊥"
+        return f"stream({self.label!r})"
+
+
+#: The lattice extremes, shared singletons.
+BOTTOM = Provenance()
+TOP = Provenance(top=True)
+TOP_UNSEEDED = Provenance(top=True, unseeded=True)
+
+
+def stream(label: str) -> Provenance:
+    """The lattice point for one known stream ``label``."""
+    return Provenance(label=label)
+
+
+def join_all(values: Iterable[Provenance]) -> Provenance:
+    out = BOTTOM
+    for value in values:
+        out = out.join(value)
+    return out
+
+
+class Orderedness(enum.IntEnum):
+    """Whether iterating a value yields a deterministic order.
+
+    A chain lattice: join is ``max``.  ``UNORDERED`` means *definitely*
+    hash-order or completion-order dependent (set iteration,
+    ``as_completed``); ``UNKNOWN`` is the conservative middle used for
+    values the analysis cannot classify, so rules built on this domain
+    only fire on definite UNORDERED evidence (no invented findings).
+    """
+
+    ORDERED = 0
+    UNKNOWN = 1
+    UNORDERED = 2
+
+    def join(self, other: "Orderedness") -> "Orderedness":
+        return max(self, other)
+
+    def leq(self, other: "Orderedness") -> bool:
+        return self <= other
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """The product domain the interpreter propagates: provenance x order."""
+
+    prov: Provenance = BOTTOM
+    order: Orderedness = Orderedness.UNKNOWN
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        return AbstractValue(self.prov.join(other.prov), self.order.join(other.order))
+
+    def leq(self, other: "AbstractValue") -> bool:
+        return self.prov.leq(other.prov) and self.order.leq(other.order)
+
+
+#: The neutral value for expressions the analysis does not model.
+UNKNOWN_VALUE = AbstractValue(BOTTOM, Orderedness.UNKNOWN)
+#: Plain data: no provenance, deterministic iteration order.
+ORDERED_VALUE = AbstractValue(BOTTOM, Orderedness.ORDERED)
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Bounded context-sensitive summary of one function.
+
+    Computed by interpreting the function body under one *context* (the
+    tuple of parameter provenances at a call site); memoized per
+    (function, context) with a cap on distinct contexts, beyond which
+    the generic context's summary is reused.
+
+    Attributes:
+        returns: Abstract value of everything the function may return.
+        consumed: Stream labels the function (transitively) draws from.
+        consumes_top: True when the function draws from a ⊤ stream.
+        consumed_params: Names of parameters whose stream the function
+            consumes -- draws from, hands off to a consuming callee, or
+            stores on ``self`` (the caller must treat the stream as
+            handed over).
+        created: Labels of streams the function itself creates.
+    """
+
+    returns: AbstractValue = UNKNOWN_VALUE
+    consumed: FrozenSet[str] = frozenset()
+    consumes_top: bool = False
+    consumed_params: FrozenSet[str] = frozenset()
+    created: FrozenSet[str] = frozenset()
+
+
+#: Summary used while a recursive cycle is being computed: assume
+#: nothing (under-approximate, like the call graph itself).
+NEUTRAL_SUMMARY = FunctionSummary()

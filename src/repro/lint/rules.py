@@ -316,14 +316,22 @@ class RngStreamNameLiteralRule(Rule):
     Literal-*prefixed* f-strings (``f"replicate:{index}"``) are accepted:
     families of per-index streams are still auditable by their prefix,
     and the parallel replication engine derives one spawn key per
-    replicate this way.  A fully dynamic name (``f"{name}"``, a variable,
-    a call) remains a finding.
+    replicate this way.  Also accepted are *resolvable stream-label
+    constants*: a name bound at module level to a string literal or a
+    ``StreamLabel("...")`` call, or imported from
+    :mod:`repro.sim.streams` (the canonical label module) -- the literal
+    is still statically auditable, just defined once.  A fully dynamic
+    name (``f"{name}"``, a local variable, a call) remains a finding.
     """
 
     rule_id = "RL005"
     summary = "RNG stream/spawn names must be string literals (or literal-prefixed f-strings)"
 
+    #: Modules whose exported constants are trusted stream labels.
+    LABEL_MODULES = ("repro.sim.streams", "repro.sim")
+
     def check(self, module: ModuleContext) -> Iterator[Finding]:
+        resolvable = self._resolvable_labels(module.tree)
         for node in ast.walk(module.tree):
             if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
                 continue
@@ -342,12 +350,46 @@ class RngStreamNameLiteralRule(Rule):
                 continue
             if self._literal_prefixed(name_arg):
                 continue
+            if isinstance(name_arg, ast.Name) and name_arg.id in resolvable:
+                continue
             yield self.finding(
                 module,
                 name_arg,
-                f".{node.func.attr}() name must be a string literal or a "
-                "literal-prefixed f-string so the stream set is statically auditable",
+                f".{node.func.attr}() name must be a string literal, a "
+                "literal-prefixed f-string, or a module-level StreamLabel "
+                "constant so the stream set is statically auditable",
             )
+
+    @classmethod
+    def _resolvable_labels(cls, tree: ast.Module) -> FrozenSet[str]:
+        """Module-level names that statically resolve to a stream label."""
+        out = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                is_label = (
+                    isinstance(value, ast.Constant) and isinstance(value.value, str)
+                ) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "StreamLabel"
+                    and value.args
+                    and isinstance(value.args[0], ast.Constant)
+                    and isinstance(value.args[0].value, str)
+                )
+                if not is_label:
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module in cls.LABEL_MODULES:
+                for alias in stmt.names:
+                    if alias.name != "StreamLabel" and alias.name != "*":
+                        out.add(alias.asname or alias.name)
+        return frozenset(out)
 
     @staticmethod
     def _literal_prefixed(node: ast.AST) -> bool:

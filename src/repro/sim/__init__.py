@@ -25,6 +25,14 @@ from repro.sim.engine import Simulator, SimulationError, StopSimulation
 from repro.sim.events import Event, EventQueue
 from repro.sim.processes import Process, Timeout, Waiting
 from repro.sim.rng import RngRegistry
+from repro.sim.streams import (
+    CHURN,
+    DURATIONS,
+    FAILURES,
+    NODE_SELECTION,
+    SPOT_CHECKS,
+    StreamLabel,
+)
 from repro.sim.metrics import (
     Counter,
     Histogram,
@@ -34,16 +42,22 @@ from repro.sim.metrics import (
 )
 
 __all__ = [
+    "CHURN",
     "Counter",
+    "DURATIONS",
     "Event",
     "EventQueue",
+    "FAILURES",
     "Histogram",
     "MetricSet",
+    "NODE_SELECTION",
     "Process",
     "RngRegistry",
+    "SPOT_CHECKS",
     "SimulationError",
     "Simulator",
     "StopSimulation",
+    "StreamLabel",
     "Tally",
     "Timeout",
     "TimeWeightedStat",

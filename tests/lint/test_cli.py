@@ -1,13 +1,26 @@
 """CLI behaviour: exit codes, text/JSON/SARIF output, rule selection,
-project mode (``--project``/``--jobs``), the baseline ratchet, and the
-``[tool.reprolint]`` config table (including the no-tomllib fallback)."""
+project mode (``--project``/``--jobs``), flow mode (``--flows``),
+autofixes (``--fix``), the incremental cache (``--no-cache``), the
+baseline ratchet, and the ``[tool.reprolint]`` config table (including
+the no-tomllib fallback)."""
 
 import json
 import textwrap
 
+import pytest
+
 from repro.lint.baseline import BASELINE_SCHEMA
+from repro.lint.cache import DEFAULT_CACHE_NAME
 from repro.lint.cli import JSON_SCHEMA, JSON_SCHEMA_VERSION, main
 from repro.lint.config import LintConfig, _fallback_parse, load_config
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Run every CLI test from its own tmp dir: config auto-discovery
+    finds no repo pyproject.toml and the incremental cache lands in the
+    test's directory, never in the real repo."""
+    monkeypatch.chdir(tmp_path)
 
 CLEAN = 'GREETING = "hello"\n'
 VIOLATING = textwrap.dedent(
@@ -222,6 +235,123 @@ class TestProjectMode:
         path = write(tmp_path, "loose.py", CLEAN)
         assert main(["--project", str(path)]) == 0
         assert "no importable 'repro' package" in capsys.readouterr().err
+
+
+def write_flow_package(tmp_path):
+    """A mini ``repro`` package with one flow defect: an unseeded
+    ``random.Random()`` drawn from inside decision code (RL203)."""
+    root = tmp_path / "repro"
+    (root / "dca").mkdir(parents=True)
+    (root / "__init__.py").touch()
+    (root / "dca" / "__init__.py").touch()
+    (root / "dca" / "sched.py").write_text(
+        textwrap.dedent(
+            """
+            import random
+
+            def jitter():
+                rng = random.Random()
+                return rng.random()
+            """
+        ),
+        encoding="utf-8",
+    )
+    return root
+
+
+class TestFlowMode:
+    def test_flows_runs_rl2xx_and_exits_one(self, tmp_path, capsys):
+        root = write_flow_package(tmp_path)
+        assert main(["--flows", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "RL203" in out
+        assert "unseeded" in out
+
+    def test_flows_implies_project(self, tmp_path, capsys):
+        # RL1xx ids are selectable under --flows without --project.
+        root = write_mini_package(tmp_path)
+        assert main(["--flows", "--select", "RL101", str(root)]) == 1
+        assert "RL101" in capsys.readouterr().out
+
+    def test_rl2xx_needs_flows(self, tmp_path, capsys):
+        root = write_flow_package(tmp_path)
+        assert main(["--project", "--select", "RL203", str(root)]) == 2
+        assert "--flows" in capsys.readouterr().err
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path, violating=False)
+        assert main(["--flows", str(root)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_list_rules_tags_flow_scope(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL201", "RL202", "RL203", "RL204", "RL205"):
+            assert rule_id in out
+        assert "[flow]" in out
+
+    def test_flows_jobs_output_byte_identical(self, tmp_path, capsys):
+        root = write_flow_package(tmp_path)
+        assert main(["--flows", "--jobs", "1", "--output", "json", str(root)]) == 1
+        serial = capsys.readouterr().out
+        assert main(["--flows", "--jobs", "2", "--output", "json", str(root)]) == 1
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_flows_sarif_carries_rl2xx(self, tmp_path, capsys):
+        root = write_flow_package(tmp_path)
+        assert main(["--flows", "--output", "sarif", str(root)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        (run,) = log["runs"]
+        assert any(r["ruleId"] == "RL203" for r in run["results"])
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"RL201", "RL202", "RL203", "RL204", "RL205"} <= rule_ids
+
+
+class TestFixFlag:
+    def test_fix_rewrites_then_lints_clean(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.py", "def f(items=[]):\n    return items\n")
+        assert main(["--fix", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "applied 1 fix(es) in 1 file(s)" in captured.err
+        assert "items=None" in path.read_text(encoding="utf-8")
+
+    def test_fix_on_clean_tree_reports_zero(self, tmp_path, capsys):
+        path = write(tmp_path, "clean.py", CLEAN)
+        assert main(["--fix", str(path)]) == 0
+        assert "applied 0 fix(es) in 0 file(s)" in capsys.readouterr().err
+
+
+class TestIncrementalCache:
+    def test_warm_run_byte_identical_and_cached(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        assert main(["--project", "--output", "json", str(root)]) == 1
+        cold = capsys.readouterr().out
+        assert (tmp_path / DEFAULT_CACHE_NAME).is_file()
+        assert main(["--project", "--output", "json", str(root)]) == 1
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_no_cache_writes_nothing(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        assert main(["--project", "--no-cache", str(root)]) == 1
+        capsys.readouterr()
+        assert not (tmp_path / DEFAULT_CACHE_NAME).exists()
+
+    def test_warm_flows_run_byte_identical(self, tmp_path, capsys):
+        root = write_flow_package(tmp_path)
+        assert main(["--flows", "--output", "json", str(root)]) == 1
+        cold = capsys.readouterr().out
+        assert main(["--flows", "--output", "json", str(root)]) == 1
+        assert capsys.readouterr().out == cold
+
+    def test_edit_after_warm_run_changes_findings(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path)
+        assert main(["--project", str(root)]) == 1
+        capsys.readouterr()
+        (root / "core" / "user.py").write_text("X = 1\n", encoding="utf-8")
+        assert main(["--project", str(root)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
 
 
 class TestBaseline:

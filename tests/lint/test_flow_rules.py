@@ -1,0 +1,460 @@
+"""Seeded-defect corpus for the flow rules (RL201-RL205).
+
+Every entry in :data:`CORPUS` is one deliberately planted determinism
+bug in a synthetic ``repro`` package, together with the one rule that
+must catch it; :data:`CLEAN` holds the matching innocent variants that
+must produce *zero* findings (the under-approximation contract: no
+invented findings).  A meta-test asserts the corpus stays at >= 10
+seeded defects.
+"""
+
+import pytest
+
+from repro.lint.absint import FlowAnalysis
+from repro.lint.flow_rules import registered_flow_rules
+
+from tests.lint.test_project_rules import PARALLEL_STUB, build_project
+
+
+def run_flow_rule(tmp_path, rule_id, files):
+    project = build_project(tmp_path, files)
+    analysis = FlowAnalysis.build(project.graph, project.callgraph)
+    rule = registered_flow_rules()[rule_id]()
+    return sorted(rule.check(project, analysis))
+
+
+#: (rule id, defect name, fixture files) -- each one planted bug.
+CORPUS = [
+    (
+        "RL201",
+        "stream-passed-into-pool",
+        {
+            "parallel/__init__.py": PARALLEL_STUB,
+            "experiments/driver.py": """
+            from repro.parallel import parallel_map
+
+            def work(item):
+                value, rng = item
+                return value + rng.random()
+
+            def run(registry, items):
+                shared = registry.stream("jobs")
+                return parallel_map(work, [(item, shared) for item in items])
+            """,
+        },
+    ),
+    (
+        "RL201",
+        "worker-draws-module-level-stream",
+        {
+            "parallel/__init__.py": PARALLEL_STUB,
+            "experiments/noise.py": """
+            from repro.parallel import parallel_map
+
+            registry = RngRegistry(7)
+            NOISE = registry.stream("noise")
+
+            def work(item):
+                return item + NOISE.random()
+
+            def run(items):
+                return parallel_map(work, items)
+            """,
+        },
+    ),
+    (
+        "RL202",
+        "draw-after-handoff-to-drawing-callee",
+        {
+            "sim/phases.py": """
+            def child(rng):
+                return rng.random()
+
+            def parent(registry):
+                s = registry.stream("phase")
+                first = child(s)
+                second = s.random()
+                return first + second
+            """,
+        },
+    ),
+    (
+        "RL202",
+        "draw-after-handoff-to-storing-ctor",
+        {
+            "sim/nodes.py": """
+            class Node:
+                def __init__(self, rng):
+                    self.rng = rng
+
+            def parent(registry):
+                s = registry.stream("jobs")
+                node = Node(s)
+                return s.random()
+            """,
+        },
+    ),
+    (
+        "RL203",
+        "unseeded-random-passed-into-core",
+        {
+            "core/decide.py": """
+            def pick(rng, options):
+                return options[int(rng.random() * len(options))]
+            """,
+            "experiments/run.py": """
+            import random
+
+            from repro.core.decide import pick
+
+            def run(options):
+                rng = random.Random()
+                return pick(rng, options)
+            """,
+        },
+    ),
+    (
+        "RL203",
+        "unseeded-draw-inside-dca",
+        {
+            "dca/sched.py": """
+            import random
+
+            def jitter():
+                rng = random.Random()
+                return rng.random()
+            """,
+        },
+    ),
+    (
+        "RL203",
+        "unseeded-draw-inside-subscript-index",
+        {
+            "dca/pick.py": """
+            import random
+
+            def pick(options):
+                rng = random.Random()
+                return options[rng.randrange(len(options))]
+            """,
+        },
+    ),
+    (
+        "RL204",
+        "sum-over-set-returned-by-callee",
+        {
+            "core/stats.py": """
+            def dedupe(values):
+                return set(values)
+
+            def total(values):
+                unique = dedupe(values)
+                return sum(unique)
+            """,
+        },
+    ),
+    (
+        "RL204",
+        "loop-accumulation-over-frozenset-call",
+        {
+            "core/means.py": """
+            def gather(values):
+                return frozenset(values)
+
+            def accumulate(values):
+                total = 0.0
+                for v in gather(values):
+                    total += v
+                return total
+            """,
+        },
+    ),
+    (
+        "RL204",
+        "loop-accumulation-over-as-completed",
+        {
+            "experiments/collect.py": """
+            def collect(futures):
+                total = 0.0
+                for result in as_completed(futures):
+                    total += result
+                return total
+            """,
+        },
+    ),
+    (
+        "RL205",
+        "worker-method-appends-class-list",
+        {
+            "parallel/__init__.py": PARALLEL_STUB,
+            "core/estimator.py": """
+            from repro.parallel import parallel_map
+
+            class Estimator:
+                history = []
+
+                def observe(self, item):
+                    self.history.append(item)
+                    return item
+
+                def run(self, items):
+                    return parallel_map(self.observe, items)
+            """,
+        },
+    ),
+    (
+        "RL205",
+        "worker-method-writes-class-dict",
+        {
+            "parallel/__init__.py": PARALLEL_STUB,
+            "core/tally.py": """
+            from repro.parallel import parallel_map
+
+            class Tally:
+                counts = {}
+
+                def bump(self, key):
+                    self.counts[key] = self.counts.get(key, 0) + 1
+                    return key
+
+                def run(self, items):
+                    return parallel_map(self.bump, items)
+            """,
+        },
+    ),
+]
+
+#: Innocent variants: the same shapes done right must stay silent.
+CLEAN = [
+    (
+        "RL201",
+        "worker-spawns-own-stream",
+        {
+            "parallel/__init__.py": PARALLEL_STUB,
+            "experiments/driver.py": """
+            from repro.parallel import parallel_map
+
+            def work(item):
+                registry = RngRegistry(item)
+                rng = registry.stream("noise")
+                return rng.random()
+
+            def run(items):
+                return parallel_map(work, items)
+            """,
+        },
+    ),
+    (
+        "RL202",
+        "handoff-gets-spawned-child-stream",
+        {
+            "sim/phases.py": """
+            def child(rng):
+                return rng.random()
+
+            def parent(registry):
+                handed = registry.spawn("child")
+                first = child(handed)
+                mine = registry.stream("mine")
+                return first + mine.random()
+            """,
+        },
+    ),
+    (
+        "RL203",
+        "seeded-random-in-core",
+        {
+            "core/decide.py": """
+            import random
+
+            def jitter(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+        },
+    ),
+    (
+        "RL203",
+        "unseeded-random-stays-outside-decision-code",
+        {
+            "experiments/shuffle.py": """
+            import random
+
+            def preview(values):
+                rng = random.Random()
+                return values[int(rng.random() * len(values))]
+            """,
+        },
+    ),
+    (
+        "RL204",
+        "sorted-reestablishes-order",
+        {
+            "core/stats.py": """
+            def dedupe(values):
+                return set(values)
+
+            def total(values):
+                unique = dedupe(values)
+                return sum(sorted(unique))
+            """,
+        },
+    ),
+    (
+        "RL204",
+        "syntactic-set-is-rl104s-problem",
+        {
+            "core/stats.py": """
+            def total(values):
+                pool = set(values)
+                return sum(pool)
+            """,
+        },
+    ),
+    (
+        "RL205",
+        "init-rebinds-instance-state",
+        {
+            "parallel/__init__.py": PARALLEL_STUB,
+            "core/estimator.py": """
+            from repro.parallel import parallel_map
+
+            class Estimator:
+                history = []
+
+                def __init__(self):
+                    self.history = []
+
+                def observe(self, item):
+                    self.history.append(item)
+                    return item
+
+                def run(self, items):
+                    return parallel_map(self.observe, items)
+            """,
+        },
+    ),
+    (
+        "RL205",
+        "no-pool-no-worker-reachability",
+        {
+            "core/estimator.py": """
+            class Estimator:
+                history = []
+
+                def observe(self, item):
+                    self.history.append(item)
+                    return item
+            """,
+        },
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,name,files", CORPUS, ids=[f"{r}-{n}" for r, n, _ in CORPUS]
+)
+def test_seeded_defect_caught(tmp_path, rule_id, name, files):
+    findings = run_flow_rule(tmp_path, rule_id, files)
+    assert findings, f"seeded defect {name!r} not caught by {rule_id}"
+    assert all(f.rule_id == rule_id for f in findings)
+
+
+@pytest.mark.parametrize(
+    "rule_id,name,files", CLEAN, ids=[f"{r}-{n}" for r, n, _ in CLEAN]
+)
+def test_innocent_variant_stays_silent(tmp_path, rule_id, name, files):
+    findings = run_flow_rule(tmp_path, rule_id, files)
+    assert findings == [], f"false positive on clean fixture {name!r}"
+
+
+def test_corpus_has_at_least_ten_seeded_defects():
+    assert len(CORPUS) >= 10
+    assert {rule_id for rule_id, _, _ in CORPUS} == {
+        "RL201",
+        "RL202",
+        "RL203",
+        "RL204",
+        "RL205",
+    }
+
+
+def test_flow_registry_is_exactly_rl201_to_rl205():
+    assert sorted(registered_flow_rules()) == [
+        "RL201",
+        "RL202",
+        "RL203",
+        "RL204",
+        "RL205",
+    ]
+
+
+def corpus_entry(name):
+    """Look a defect up by name so corpus growth can't shift indices."""
+    for rule_id, entry_name, files in CORPUS:
+        if entry_name == name:
+            return rule_id, files
+    raise KeyError(name)
+
+
+class TestRuleMessages:
+    def test_rl201_pool_message_names_spawn(self, tmp_path):
+        rule_id, files = corpus_entry("stream-passed-into-pool")
+        findings = run_flow_rule(tmp_path, rule_id, files)
+        assert any("registry.spawn" in f.message for f in findings)
+
+    def test_rl202_message_names_callee_and_line(self, tmp_path):
+        rule_id, files = corpus_entry("draw-after-handoff-to-drawing-callee")
+        findings = run_flow_rule(tmp_path, rule_id, files)
+        assert len(findings) == 1
+        assert "child()" in findings[0].message
+        assert "stream 'phase'" in findings[0].message
+
+    def test_rl203_message_mentions_replay(self, tmp_path):
+        rule_id, files = corpus_entry("unseeded-draw-inside-dca")
+        findings = run_flow_rule(tmp_path, rule_id, files)
+        assert any("cannot be replayed" in f.message for f in findings)
+
+    def test_rl204_names_accumulator(self, tmp_path):
+        rule_id, files = corpus_entry("loop-accumulation-over-frozenset-call")
+        findings = run_flow_rule(tmp_path, rule_id, files)
+        assert any("'total'" in f.message for f in findings)
+
+    def test_rl205_points_at_envelope_reduction(self, tmp_path):
+        rule_id, files = corpus_entry("worker-method-appends-class-list")
+        findings = run_flow_rule(tmp_path, rule_id, files)
+        assert any("ReplicateEnvelope" in f.message for f in findings)
+
+
+class TestEscapeHatch:
+    def test_stream_annotation_suppresses_rl203(self, tmp_path):
+        findings = run_flow_rule(
+            tmp_path,
+            "RL203",
+            {
+                "dca/sched.py": """
+                import random
+
+                def jitter():
+                    rng = random.Random()  # reprolint: stream=jitter
+                    return rng.random()
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_stream_annotation_registers_creation_site(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "dca/sched.py": """
+                import random
+
+                def jitter():
+                    rng = random.Random()  # reprolint: stream=jitter
+                    return rng.random()
+                """,
+            },
+        )
+        analysis = FlowAnalysis.build(project.graph, project.callgraph)
+        assert "jitter" in analysis.events.created_at

@@ -397,6 +397,65 @@ class TestRL104UnorderedIteration:
         )
         assert findings == []
 
+    def test_sorted_rebinding_clean(self, tmp_path):
+        # Regression: ``seen = sorted(seen)`` turns the set back into a
+        # deterministic list; the accumulation below must not fire.
+        findings = run_rule(
+            tmp_path,
+            "RL104",
+            {
+                "core/agg.py": """
+                def total(values):
+                    seen = set(values)
+                    seen = sorted(seen)
+                    acc = 0.0
+                    for value in seen:
+                        acc += value
+                    return acc
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_sorted_items_reduction_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "RL104",
+            {
+                "core/agg.py": """
+                def total(weights):
+                    pairs = sorted(weights.items())
+                    acc = 0.0
+                    for _, weight in pairs:
+                        acc += weight
+                    return acc
+                """,
+            },
+        )
+        assert findings == []
+
+    def test_demotion_fixed_point_keeps_real_sets(self, tmp_path):
+        # ``s = s | t`` keeps ``s`` a set (no demotion), so the
+        # accumulation over it still fires after the rebinding fix.
+        findings = run_rule(
+            tmp_path,
+            "RL104",
+            {
+                "core/agg.py": """
+                def total(a, b):
+                    s = set(a)
+                    t = set(b)
+                    s = s | t
+                    acc = 0.0
+                    for value in s:
+                        acc += value
+                    return acc
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "accumulates into 'acc'" in findings[0].message
+
 
 class TestRL105RngProvenance:
     def test_stream_taking_function_minting_flagged(self, tmp_path):

@@ -1,0 +1,170 @@
+"""Algebraic property tests for the flow-analysis lattices.
+
+Both domains are finite, so instead of randomized property testing the
+laws are checked *exhaustively* over a sample set that covers every
+lattice shape: ⊥, several distinct labels, ⊤, and ⊤u for provenance;
+the full chain for orderedness; and their product.  Every pair and
+triple is enumerated, so a pass here is a proof over the samples, not a
+sampling argument.
+"""
+
+import itertools
+
+import pytest
+
+from repro.lint.provenance import (
+    BOTTOM,
+    TOP,
+    TOP_UNSEEDED,
+    AbstractValue,
+    FunctionSummary,
+    NEUTRAL_SUMMARY,
+    Orderedness,
+    Provenance,
+    join_all,
+    stream,
+)
+
+#: Every provenance shape: bottom, three distinct labels, both tops.
+PROVS = [
+    BOTTOM,
+    stream("a"),
+    stream("b"),
+    stream("replicate:*"),
+    TOP,
+    TOP_UNSEEDED,
+]
+
+ORDERS = list(Orderedness)
+
+VALUES = [AbstractValue(p, o) for p in PROVS for o in ORDERS]
+
+
+class TestProvenanceLattice:
+    def test_join_idempotent(self):
+        for p in PROVS:
+            assert p.join(p) == p
+
+    def test_join_commutative(self):
+        for p, q in itertools.product(PROVS, repeat=2):
+            assert p.join(q) == q.join(p)
+
+    def test_join_associative(self):
+        for p, q, r in itertools.product(PROVS, repeat=3):
+            assert p.join(q).join(r) == p.join(q.join(r))
+
+    def test_bottom_is_identity(self):
+        for p in PROVS:
+            assert BOTTOM.join(p) == p
+            assert p.join(BOTTOM) == p
+
+    def test_top_unseeded_is_absorbing(self):
+        for p in PROVS:
+            assert TOP_UNSEEDED.join(p) == TOP_UNSEEDED
+            assert p.join(TOP_UNSEEDED) == TOP_UNSEEDED
+
+    def test_distinct_labels_join_to_top_not_top_unseeded(self):
+        joined = stream("a").join(stream("b"))
+        assert joined == TOP
+        assert not joined.unseeded
+
+    def test_leq_is_a_partial_order(self):
+        # Reflexive, antisymmetric, transitive.
+        for p in PROVS:
+            assert p.leq(p)
+        for p, q in itertools.product(PROVS, repeat=2):
+            if p.leq(q) and q.leq(p):
+                assert p == q
+        for p, q, r in itertools.product(PROVS, repeat=3):
+            if p.leq(q) and q.leq(r):
+                assert p.leq(r)
+
+    def test_join_is_least_upper_bound(self):
+        for p, q in itertools.product(PROVS, repeat=2):
+            lub = p.join(q)
+            assert p.leq(lub) and q.leq(lub)
+            # No strictly smaller upper bound exists among the samples.
+            for r in PROVS:
+                if p.leq(r) and q.leq(r):
+                    assert lub.leq(r)
+
+    def test_join_monotone_in_each_argument(self):
+        # p ⊑ q implies p ⊔ r ⊑ q ⊔ r: the transfer functions built on
+        # join (assignment merge, branch merge, return join) are monotone.
+        for p, q, r in itertools.product(PROVS, repeat=3):
+            if p.leq(q):
+                assert p.join(r).leq(q.join(r))
+
+    def test_join_all_matches_pairwise_fold(self):
+        for p, q, r in itertools.product(PROVS, repeat=3):
+            assert join_all([p, q, r]) == p.join(q).join(r)
+        assert join_all([]) == BOTTOM
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            Provenance(label="a", top=True)
+        with pytest.raises(ValueError):
+            Provenance(unseeded=True)
+
+    def test_predicates(self):
+        assert BOTTOM.is_bottom and not BOTTOM.is_stream
+        assert stream("a").is_stream and not stream("a").is_bottom
+        assert TOP.is_stream and not TOP.unseeded
+        assert TOP_UNSEEDED.is_stream and TOP_UNSEEDED.unseeded
+
+
+class TestOrderednessLattice:
+    def test_chain_laws(self):
+        for a in ORDERS:
+            assert a.join(a) == a
+        for a, b in itertools.product(ORDERS, repeat=2):
+            assert a.join(b) == b.join(a)
+            assert a.join(b) == max(a, b)
+        for a, b, c in itertools.product(ORDERS, repeat=3):
+            assert a.join(b).join(c) == a.join(b.join(c))
+
+    def test_chain_order(self):
+        assert Orderedness.ORDERED.leq(Orderedness.UNKNOWN)
+        assert Orderedness.UNKNOWN.leq(Orderedness.UNORDERED)
+        assert not Orderedness.UNORDERED.leq(Orderedness.ORDERED)
+
+    def test_join_monotone(self):
+        for a, b, c in itertools.product(ORDERS, repeat=3):
+            if a.leq(b):
+                assert a.join(c).leq(b.join(c))
+
+
+class TestProductDomain:
+    def test_join_laws(self):
+        for v in VALUES:
+            assert v.join(v) == v
+        for v, w in itertools.product(VALUES, repeat=2):
+            assert v.join(w) == w.join(v)
+        # Associativity on a coarser sample (the full cube is 18^3).
+        sample = VALUES[::3]
+        for v, w, x in itertools.product(sample, repeat=3):
+            assert v.join(w).join(x) == v.join(w.join(x))
+
+    def test_leq_is_componentwise(self):
+        for v, w in itertools.product(VALUES, repeat=2):
+            assert v.leq(w) == (v.prov.leq(w.prov) and v.order.leq(w.order))
+
+    def test_join_is_lub(self):
+        for v, w in itertools.product(VALUES, repeat=2):
+            lub = v.join(w)
+            assert v.leq(lub) and w.leq(lub)
+
+
+class TestFunctionSummary:
+    def test_neutral_summary_claims_nothing(self):
+        assert NEUTRAL_SUMMARY.consumed == frozenset()
+        assert not NEUTRAL_SUMMARY.consumes_top
+        assert NEUTRAL_SUMMARY.consumed_params == frozenset()
+        assert NEUTRAL_SUMMARY.created == frozenset()
+        assert NEUTRAL_SUMMARY.returns.prov == BOTTOM
+
+    def test_summaries_hashable_for_memoization(self):
+        a = FunctionSummary(consumed=frozenset({"x"}))
+        b = FunctionSummary(consumed=frozenset({"x"}))
+        assert a == b
+        assert hash(a) == hash(b)

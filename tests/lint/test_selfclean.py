@@ -5,7 +5,13 @@ per-file and whole-program alike -- the self-linting pipeline CI runs."""
 from pathlib import Path
 
 import repro
-from repro.lint import LintEngine, lint_project, registered_project_rules, registered_rules
+from repro.lint import (
+    LintEngine,
+    lint_project,
+    registered_flow_rules,
+    registered_project_rules,
+    registered_rules,
+)
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -41,6 +47,22 @@ def test_project_rules_lint_clean():
         [str(SRC_ROOT), str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")],
         rule_ids=[],
         project_rule_ids=sorted(registered_project_rules()),
+        jobs=1,
+    )
+    assert report.analyzed_project
+    assert report.findings == [], "\n".join(f.format() for f in report.findings)
+
+
+def test_flow_rules_lint_clean():
+    # The flow-sensitive pass (RL201-RL205) over the real tree: no
+    # stream is shared across replicates, reused after hand-off, or
+    # unseeded in decision code, and no float reduction sees a
+    # provably-unordered operand.  The acceptance bar for --flows.
+    report = lint_project(
+        [str(SRC_ROOT), str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")],
+        rule_ids=[],
+        project_rule_ids=[],
+        flow_rule_ids=sorted(registered_flow_rules()),
         jobs=1,
     )
     assert report.analyzed_project
