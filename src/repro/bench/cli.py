@@ -96,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="after timing, rerun each suite once under cProfile and print "
         "the top N functions by cumulative time",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="after timing, run one instrumented DCA simulation and write "
+        "its telemetry capture to PATH (inspect with 'repro-obs summary')",
+    )
     return parser
 
 
@@ -120,6 +127,37 @@ def _profile_suite(name: str, args: argparse.Namespace, top: int) -> None:
     stats.sort_stats("cumulative").print_stats(top)
     print(f"--- profile: {name} (top {top} by cumulative time) ---")
     print(buffer.getvalue())
+
+
+def _telemetry_capture(args: argparse.Namespace) -> None:
+    """One instrumented DCA run, saved as a capture.
+
+    Runs *after* the timed suites (like ``--profile``) so recording
+    never pollutes the benchmark numbers.
+    """
+    from repro.core import IterativeRedundancy
+    from repro.dca import DcaConfig, run_dca
+    from repro.obs import Capture, TelemetryRecorder
+    from repro.obs.host import capture_meta
+
+    tasks = 300 if args.quick else 1_500
+    nodes = 100 if args.quick else 300
+    recorder = TelemetryRecorder(max_spans=20_000, max_events=20_000)
+    run_dca(
+        DcaConfig(
+            strategy=IterativeRedundancy(3),
+            tasks=tasks,
+            nodes=nodes,
+            reliability=0.7,
+            seed=args.seed,
+        ),
+        recorder=recorder,
+    )
+    meta = capture_meta("bench:dca_run", quick=args.quick, seed=args.seed)
+    path = Capture.from_recorder(
+        recorder, meta=meta, label="iterative(d=3) x1"
+    ).save(args.telemetry)
+    print(f"telemetry capture -> {path}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -174,6 +212,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(format_comparison(comparison))
         if args.profile is not None:
             _profile_suite(name, args, args.profile)
+    if args.telemetry is not None:
+        _telemetry_capture(args)
     failed = diverged
     if comparisons:
         import json

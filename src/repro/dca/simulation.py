@@ -11,6 +11,8 @@ from repro.dca.pool import NodePool
 from repro.dca.report import DcaReport
 from repro.dca.taskserver import TaskServer
 from repro.dca.workload import Workload
+from repro.obs.names import DCA_MAKESPAN
+from repro.obs.recorder import Recorder
 from repro.sim.engine import Simulator, StopSimulation
 
 
@@ -19,11 +21,18 @@ class DcaSimulation:
 
     Separating construction from :meth:`run` lets tests inspect or
     perturb the wired components (pool, server, churn) before running.
+
+    Args:
+        config: The run configuration.
+        recorder: Optional telemetry recorder; it is handed to the
+            :class:`~repro.sim.engine.Simulator`, and the task server
+            inherits it from there.  Telemetry observes without
+            perturbing: same-seed runs are identical with it on or off.
     """
 
-    def __init__(self, config: DcaConfig) -> None:
+    def __init__(self, config: DcaConfig, recorder: Optional[Recorder] = None) -> None:
         self.config = config
-        self.sim = Simulator(seed=config.seed)
+        self.sim = Simulator(seed=config.seed, recorder=recorder)
         self.pool = NodePool()
         self.churn = ChurnProcess(
             self.sim,
@@ -70,6 +79,8 @@ class DcaSimulation:
             self.server.submit(task)
         self.churn.start()
         self.sim.run(until=config.max_time)
+        if self.sim.recorder is not None:
+            self.sim.recorder.gauge(DCA_MAKESPAN, self.sim.now)
         return DcaReport(
             strategy=config.strategy.describe(),
             tasks_submitted=config.tasks,
@@ -84,6 +95,6 @@ class DcaSimulation:
         )
 
 
-def run_dca(config: DcaConfig) -> DcaReport:
+def run_dca(config: DcaConfig, recorder: Optional[Recorder] = None) -> DcaReport:
     """Build and run one DCA simulation (the usual entry point)."""
-    return DcaSimulation(config).run()
+    return DcaSimulation(config, recorder=recorder).run()

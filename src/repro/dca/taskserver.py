@@ -24,6 +24,22 @@ from repro.dca.failures import ByzantineCollusion, FailureModel
 from repro.dca.node import Node
 from repro.dca.pool import NodePool
 from repro.dca.report import TaskRecord
+from repro.obs.names import (
+    DCA_ACCEPTS,
+    DCA_COMPLETES,
+    DCA_DECIDE_EVENT,
+    DCA_DECISIONS,
+    DCA_DISPATCHES,
+    DCA_JOBS_PER_TASK,
+    DCA_JOB_SPAN,
+    DCA_RESPONSE_TIME,
+    DCA_SPOT_CHECKS,
+    DCA_SUBMITS,
+    DCA_TASK_SPAN,
+    DCA_TIMEOUTS,
+    DCA_WAVE_SIZE,
+)
+from repro.obs.recorder import Recorder, TeeRecorder, active
 from repro.sim.engine import Simulator, StopSimulation
 from repro.sim.streams import DURATIONS, FAILURES, NODE_SELECTION, SPOT_CHECKS
 from repro.sim.events import Event
@@ -86,6 +102,10 @@ class TaskServer:
         spot_check_rate: Probability an assignment is converted into a
             spot-check when the strategy exposes a credibility manager.
         on_all_done: Called once every submitted task has a verdict.
+        recorder: Telemetry recorder (see :mod:`repro.obs`); defaults to
+            the simulator's.  Disabled recorders normalize to ``None``,
+            so every instrumentation site is a single ``is not None``
+            branch when telemetry is off.
     """
 
     def __init__(
@@ -101,6 +121,7 @@ class TaskServer:
         spot_check_rate: float = 0.0,
         prioritize_followups: bool = True,
         on_all_done: Optional[Callable[[], None]] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.sim = sim
         self.pool = pool
@@ -135,6 +156,25 @@ class TaskServer:
         self._rng_failures = sim.rng.stream(FAILURES)
         self._rng_spot = sim.rng.stream(SPOT_CHECKS)
 
+        self._recorder = active(recorder if recorder is not None else sim.recorder)
+        self._strategy_label = strategy.describe() if self._recorder is not None else ""
+
+    def attach_recorder(self, recorder: Optional[Recorder]) -> None:
+        """Attach ``recorder`` (teeing onto any recorder already set).
+
+        This is how :func:`repro.dca.tracing.instrument_server` hooks a
+        legacy :class:`~repro.dca.tracing.TraceLog` onto the unified
+        telemetry stream after construction.
+        """
+        recorder = active(recorder)
+        if recorder is None:
+            return
+        if self._recorder is None:
+            self._recorder = recorder
+        else:
+            self._recorder = TeeRecorder(self._recorder, recorder)
+        self._strategy_label = self.strategy.describe()
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -150,6 +190,12 @@ class TaskServer:
         state = _TaskState(task=task, submitted_at=self.sim.now)
         self._states[task.task_id] = state
         self._remaining += 1
+        rec = self._recorder
+        if rec is not None:
+            # Before the first wave enqueues, so submit precedes its
+            # dispatches in the stream (matching the legacy trace order).
+            rec.span_begin(DCA_TASK_SPAN, task.task_id, self.sim.now, {"task": task.task_id})
+            rec.count(DCA_SUBMITS)
         self._enqueue_jobs(state, self.strategy.initial_jobs())
         state.waves = 1
 
@@ -177,6 +223,9 @@ class TaskServer:
     # ------------------------------------------------------------------
 
     def _enqueue_jobs(self, state: _TaskState, count: int, *, followup: bool = False) -> None:
+        rec = self._recorder
+        if rec is not None:
+            rec.observe(DCA_WAVE_SIZE, count, labels={"followup": followup})
         state.vote.dispatched(count)
         target = self._followup_queue if followup else self._queue
         for _ in range(count):
@@ -209,6 +258,21 @@ class TaskServer:
         self.total_jobs_dispatched += 1
         if state is not None and state.first_dispatch is None:
             state.first_dispatch = now
+        rec = self._recorder
+        if rec is not None:
+            rec.span_begin(
+                DCA_JOB_SPAN,
+                node.node_id,
+                now,
+                {
+                    "task": state.task.task_id if state is not None else -1,
+                    "node": node.node_id,
+                    "spot_check": job.spot_check,
+                },
+            )
+            rec.count(DCA_DISPATCHES)
+            if job.spot_check:
+                rec.count(DCA_SPOT_CHECKS)
 
         task = state.task if state is not None else _SPOT_CHECK_TASK
         value = self.failure_model.report(task, node, self._rng_failures)
@@ -237,6 +301,22 @@ class TaskServer:
             # The node quit mid-job; its result is lost.  The deadline
             # event will fold the silence into the vote.
             return
+        rec = self._recorder
+        if rec is not None:
+            # Before the vote folds in, so the completion precedes any
+            # accept it causes (and survives StopSimulation downstream).
+            rec.span_end(
+                DCA_JOB_SPAN,
+                node.node_id,
+                self.sim.now,
+                {
+                    "task": job.state.task.task_id if job.state is not None else -1,
+                    "node": node.node_id,
+                    "value": value,
+                    "outcome": "complete",
+                },
+            )
+            rec.count(DCA_COMPLETES)
         job.abandoned = True
         if job.deadline_event is not None:
             self.sim.cancel(job.deadline_event)
@@ -258,6 +338,20 @@ class TaskServer:
     def _on_deadline(self, job: _Job) -> None:
         if job.abandoned:
             return
+        rec = self._recorder
+        if rec is not None:
+            node_id = job.node.node_id if job.node is not None else None
+            rec.span_end(
+                DCA_JOB_SPAN,
+                node_id,
+                self.sim.now,
+                {
+                    "task": job.state.task.task_id if job.state is not None else -1,
+                    "node": node_id,
+                    "outcome": "timeout",
+                },
+            )
+            rec.count(DCA_TIMEOUTS)
         job.abandoned = True
         if job.completion_event is not None:
             self.sim.cancel(job.completion_event)
@@ -302,9 +396,23 @@ class TaskServer:
 
     def _decide(self, state: _TaskState) -> None:
         decision = self.strategy.decide(state.vote)
+        rec = self._recorder
         if not decision.done:
             state.waves += 1
             self._enqueue_jobs(state, decision.more_jobs, followup=True)
+            if rec is not None:
+                # After the wave enqueues (and possibly assigns), so the
+                # new dispatches precede the decide event -- the exact
+                # order the legacy monkey-patch tracer produced.
+                rec.event(
+                    DCA_DECIDE_EVENT,
+                    self.sim.now,
+                    {"task": state.task.task_id, "outstanding_more": state.vote.outstanding},
+                )
+                rec.count(
+                    DCA_DECISIONS,
+                    labels={"strategy": self._strategy_label, "outcome": "extend"},
+                )
             return
         state.done = True
         now = self.sim.now
@@ -318,6 +426,20 @@ class TaskServer:
             turnaround=now - state.submitted_at,
         )
         self.records.append(record)
+        if rec is not None:
+            rec.span_end(
+                DCA_TASK_SPAN,
+                state.task.task_id,
+                now,
+                {"task": state.task.task_id, "jobs": state.jobs_used, "waves": state.waves},
+            )
+            rec.count(DCA_ACCEPTS)
+            rec.count(
+                DCA_DECISIONS,
+                labels={"strategy": self._strategy_label, "outcome": "accept"},
+            )
+            rec.observe(DCA_RESPONSE_TIME, record.response_time)
+            rec.observe(DCA_JOBS_PER_TASK, state.jobs_used)
         if self._node_aware:
             self.strategy.task_finished(
                 state.task.task_id,

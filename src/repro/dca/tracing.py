@@ -6,9 +6,13 @@ records typed events (submit, dispatch, complete, timeout, decide) with
 simulated timestamps, supports filtering, and can reconstruct a per-task
 timeline -- the raw material for response-time forensics.
 
-Attach one via :func:`instrument_server`; the instrumentation wraps the
-task server's internals without the server knowing (so the hot path stays
-clean when tracing is off).
+Attach one via :func:`instrument_server`.  Historically this module
+monkey-patched the server's internals; it is now a thin adapter
+(:class:`TraceLogRecorder`) over the unified :mod:`repro.obs` recorder
+hooks, translating spans and events back into the legacy
+:class:`TraceEvent` vocabulary byte-for-byte.  The public API
+(``TraceLog``, ``instrument_server``, the kind constants) is unchanged;
+new code should record through :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
@@ -17,6 +21,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.dca.taskserver import TaskServer
+from repro.obs.names import (
+    DCA_DECIDE_EVENT,
+    DCA_JOB_SPAN,
+    DCA_TASK_SPAN,
+)
+from repro.obs.recorder import Recorder
 
 #: Event kinds, in rough lifecycle order.
 SUBMIT = "submit"
@@ -120,98 +130,64 @@ class TraceLog:
         return "\n".join(lines)
 
 
-def instrument_server(server: TaskServer, log: TraceLog) -> TraceLog:
-    """Wrap a task server's internals so every lifecycle step is traced.
+class TraceLogRecorder(Recorder):
+    """Adapter that renders :mod:`repro.obs` hooks as legacy trace events.
 
-    Returns the log for chaining.  Instrumentation is monkey-patch style
-    on the single server instance -- the un-instrumented hot path pays
-    nothing.
+    The task server emits unified spans and events (``dca.task``,
+    ``dca.job``, ``dca.decide``); this recorder translates each back into
+    the :class:`TraceEvent` vocabulary and appends it to a
+    :class:`TraceLog`, preserving the exact kinds, ordering, and detail
+    payloads the old monkey-patch instrumentation produced (the golden
+    trace fingerprints pin this).
     """
-    sim = server.sim
 
-    original_submit = server.submit
+    #: Attribute keys folded into the TraceEvent envelope rather than
+    #: its ``detail`` dict.
+    _ENVELOPE_KEYS = ("task", "outcome")
 
-    def traced_submit(task):
-        log.record(TraceEvent(sim.now, SUBMIT, task.task_id))
-        return original_submit(task)
+    def __init__(self, log: TraceLog) -> None:
+        self.log = log
+        self.enabled = True
 
-    original_assign = server._assign
+    def _detail(self, attrs: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        if not attrs:
+            return {}
+        return {k: v for k, v in attrs.items() if k not in self._ENVELOPE_KEYS}
 
-    def traced_assign(job):
-        result = original_assign(job)
-        if job.node is not None:
-            task_id = job.state.task.task_id if job.state is not None else -1
-            log.record(
-                TraceEvent(
-                    sim.now,
-                    DISPATCH,
-                    task_id,
-                    {"node": job.node.node_id, "spot_check": job.spot_check},
-                )
-            )
-        return result
+    @staticmethod
+    def _task_id(attrs: Optional[Dict[str, Any]]) -> int:
+        return attrs.get("task", -1) if attrs else -1
 
-    original_complete = server._on_complete
+    def span_begin(self, name, key, time, attrs=None):
+        if name == DCA_TASK_SPAN:
+            self.log.record(TraceEvent(time, SUBMIT, self._task_id(attrs)))
+        elif name == DCA_JOB_SPAN:
+            self.log.record(TraceEvent(time, DISPATCH, self._task_id(attrs), self._detail(attrs)))
 
-    def traced_complete(job, value):
-        # Record before delegating so the event precedes any ACCEPT it
-        # causes (and survives a StopSimulation raised downstream).  The
-        # guard mirrors the server's own: abandoned jobs and dead nodes
-        # produce no counted completion.
-        counted = not job.abandoned and job.node is not None and job.node.alive
-        if counted:
-            task_id = job.state.task.task_id if job.state is not None else -1
-            log.record(
-                TraceEvent(
-                    sim.now,
-                    COMPLETE,
-                    task_id,
-                    {"node": job.node.node_id, "value": value},
-                )
-            )
-        return original_complete(job, value)
+    def span_end(self, name, key, time, attrs=None):
+        if name == DCA_TASK_SPAN:
+            self.log.record(TraceEvent(time, ACCEPT, self._task_id(attrs), self._detail(attrs)))
+        elif name == DCA_JOB_SPAN:
+            outcome = (attrs or {}).get("outcome")
+            kind = COMPLETE if outcome == "complete" else TIMEOUT
+            self.log.record(TraceEvent(time, kind, self._task_id(attrs), self._detail(attrs)))
 
-    original_deadline = server._on_deadline
+    def event(self, name, time, attrs=None):
+        if name == DCA_DECIDE_EVENT:
+            self.log.record(TraceEvent(time, DECIDE, self._task_id(attrs), self._detail(attrs)))
 
-    def traced_deadline(job):
-        if not job.abandoned:
-            task_id = job.state.task.task_id if job.state is not None else -1
-            node_id = job.node.node_id if job.node is not None else None
-            log.record(TraceEvent(sim.now, TIMEOUT, task_id, {"node": node_id}))
-        return original_deadline(job)
 
-    original_decide = server._decide
+def instrument_server(server: TaskServer, log: TraceLog) -> TraceLog:
+    """Attach a :class:`TraceLog` to a task server's lifecycle hooks.
 
-    def traced_decide(state):
-        before_done = state.done
-        try:
-            # May raise StopSimulation on the final task (the server's
-            # on_all_done hook); record in ``finally`` so the last accept
-            # is still traced.
-            return original_decide(state)
-        finally:
-            if state.done and not before_done:
-                log.record(
-                    TraceEvent(
-                        sim.now,
-                        ACCEPT,
-                        state.task.task_id,
-                        {"jobs": state.jobs_used, "waves": state.waves},
-                    )
-                )
-            elif not state.done:
-                log.record(
-                    TraceEvent(
-                        sim.now,
-                        DECIDE,
-                        state.task.task_id,
-                        {"outstanding_more": state.vote.outstanding},
-                    )
-                )
+    Returns the log for chaining.  This is now a thin adapter over the
+    server's :meth:`~repro.dca.taskserver.TaskServer.attach_recorder`
+    hook (it tees alongside any recorder already attached); the
+    un-instrumented hot path still pays nothing.
 
-    server.submit = traced_submit
-    server._assign = traced_assign
-    server._on_complete = traced_complete
-    server._on_deadline = traced_deadline
-    server._decide = traced_decide
+    .. deprecated:: retained for backwards compatibility.  New code
+       should pass a :class:`repro.obs.TelemetryRecorder` to the
+       simulation instead and use the richer capture/export pipeline.
+    """
+    server.attach_recorder(TraceLogRecorder(log))
     return log

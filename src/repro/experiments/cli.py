@@ -49,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record run telemetry (metrics, spans, events) and write a "
+            "capture JSON to PATH; inspect it with 'repro-obs summary'"
+        ),
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="append an ASCII scatter plot of the figure's series",
@@ -113,6 +122,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name:10s} {summary}")
         print("  all        run every experiment in sequence")
         return 0
+    if args.telemetry is None:
+        return _run(args, jobs)
+    from repro.obs.context import TelemetrySink, clear_sink, install_sink
+    from repro.obs.host import capture_meta
+
+    sink = TelemetrySink()
+    install_sink(sink)
+    try:
+        code = _run(args, jobs)
+    finally:
+        clear_sink()
+    if code == 0:
+        meta = capture_meta(
+            f"experiments:{args.experiment}", scale=args.scale, jobs=jobs
+        )
+        sink.capture(meta).save(args.telemetry)
+        print(f"telemetry capture written to {args.telemetry}", file=sys.stderr)
+    return code
+
+
+def _run(args: argparse.Namespace, jobs: int) -> int:
     if args.experiment == "all":
         for name, module in EXPERIMENTS.items():
             print(module.main(args.scale, jobs=jobs))

@@ -54,16 +54,30 @@ from repro.lint.rules import _GLOBAL_DRAWS
 #: (``bench``, ``lint``) sit above everything they measure or analyze.
 ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "core": frozenset(),
-    "sim": frozenset({"core"}),
-    "sat": frozenset({"core"}),
-    "dca": frozenset({"core", "sim"}),
-    "replication": frozenset({"core", "sim"}),
-    "grid": frozenset({"core", "sim", "dca"}),
-    "mapreduce": frozenset({"core", "sim", "dca"}),
-    "volunteer": frozenset({"core", "sim", "sat", "dca"}),
-    "parallel": frozenset({"core", "sim", "dca", "volunteer"}),
+    # The telemetry substrate sits below everything that records into it;
+    # it imports nothing and is importable from every layer.
+    "obs": frozenset(),
+    "sim": frozenset({"core", "obs"}),
+    "sat": frozenset({"core", "obs"}),
+    "dca": frozenset({"core", "sim", "obs"}),
+    "replication": frozenset({"core", "sim", "obs"}),
+    "grid": frozenset({"core", "sim", "dca", "obs"}),
+    "mapreduce": frozenset({"core", "sim", "dca", "obs"}),
+    "volunteer": frozenset({"core", "sim", "sat", "dca", "obs"}),
+    "parallel": frozenset({"core", "sim", "dca", "volunteer", "obs"}),
     "experiments": frozenset(
-        {"core", "sim", "sat", "dca", "replication", "grid", "mapreduce", "volunteer", "parallel"}
+        {
+            "core",
+            "sim",
+            "sat",
+            "dca",
+            "replication",
+            "grid",
+            "mapreduce",
+            "volunteer",
+            "parallel",
+            "obs",
+        }
     ),
     "bench": frozenset(
         {
@@ -77,10 +91,22 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
             "volunteer",
             "parallel",
             "experiments",
+            "obs",
         }
     ),
     "lint": frozenset(
-        {"core", "sim", "sat", "dca", "replication", "grid", "mapreduce", "volunteer", "parallel"}
+        {
+            "core",
+            "sim",
+            "sat",
+            "dca",
+            "replication",
+            "grid",
+            "mapreduce",
+            "volunteer",
+            "parallel",
+            "obs",
+        }
     ),
 }
 

@@ -1,4 +1,4 @@
-"""The initial reprolint rule set (RL001-RL007).
+"""The per-file reprolint rule set (RL001-RL008).
 
 Each rule encodes one determinism or correctness invariant of this
 repository; ``docs/linting.md`` documents the rationale behind every
@@ -138,6 +138,57 @@ class NoGlobalRandomRule(Rule):
                 )
 
 
+def _iter_wall_clock_uses(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for every wall-clock read in ``tree``.
+
+    Shared detector behind RL002 (simulation packages) and RL008 (the
+    ``obs`` package outside its ``host*`` modules): from-imports of
+    ``time`` draw functions, ``time.time()``-style calls through module
+    aliases, and ``datetime.now()``/``date.today()`` in both spellings.
+    """
+    time_aliases = _module_aliases(tree, "time")
+    datetime_aliases = _module_aliases(tree, "datetime")
+    from_time = _from_imports(tree, "time")
+    from_datetime = _from_imports(tree, "datetime")
+
+    for local, (original, node) in from_time.items():
+        if original in _WALL_CLOCK_TIME:
+            yield node, f"time.{original} reads the wall clock"
+        del local
+    datetime_classes = {
+        local for local, (original, _) in from_datetime.items() if original in ("datetime", "date")
+    }
+
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        func = node.func
+        base = func.value
+        # time.time(), time.monotonic(), ...
+        if (
+            isinstance(base, ast.Name)
+            and base.id in time_aliases
+            and func.attr in _WALL_CLOCK_TIME
+        ):
+            yield node, f"time.{func.attr}() reads the wall clock"
+        # datetime.datetime.now(), datetime.date.today()
+        elif (
+            func.attr in _WALL_CLOCK_DATETIME
+            and isinstance(base, ast.Attribute)
+            and base.attr in ("datetime", "date")
+            and isinstance(base.value, ast.Name)
+            and base.value.id in datetime_aliases
+        ):
+            yield node, f"datetime.{base.attr}.{func.attr}() reads the wall clock"
+        # datetime.now() / date.today() via from-import
+        elif (
+            func.attr in _WALL_CLOCK_DATETIME
+            and isinstance(base, ast.Name)
+            and base.id in datetime_classes
+        ):
+            yield node, f"{base.id}.{func.attr}() reads the wall clock"
+
+
 @register
 class NoWallClockRule(Rule):
     """RL002: simulation packages run on simulated time; reading the wall
@@ -149,65 +200,12 @@ class NoWallClockRule(Rule):
     packages = SIM_PACKAGES
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
-        time_aliases = _module_aliases(module.tree, "time")
-        datetime_aliases = _module_aliases(module.tree, "datetime")
-        from_time = _from_imports(module.tree, "time")
-        from_datetime = _from_imports(module.tree, "datetime")
-
-        for local, (original, node) in from_time.items():
-            if original in _WALL_CLOCK_TIME:
-                yield self.finding(
-                    module,
-                    node,
-                    f"time.{original} reads the wall clock; use Simulator.now "
-                    "(simulated time) instead",
-                )
-            del local
-        datetime_classes = {
-            local for local, (original, _) in from_datetime.items() if original in ("datetime", "date")
-        }
-
-        for node in ast.walk(module.tree):
-            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
-                continue
-            func = node.func
-            base = func.value
-            # time.time(), time.monotonic(), ...
-            if (
-                isinstance(base, ast.Name)
-                and base.id in time_aliases
-                and func.attr in _WALL_CLOCK_TIME
-            ):
-                yield self.finding(
-                    module,
-                    node,
-                    f"time.{func.attr}() reads the wall clock; use Simulator.now instead",
-                )
-            # datetime.datetime.now(), datetime.date.today()
-            elif (
-                func.attr in _WALL_CLOCK_DATETIME
-                and isinstance(base, ast.Attribute)
-                and base.attr in ("datetime", "date")
-                and isinstance(base.value, ast.Name)
-                and base.value.id in datetime_aliases
-            ):
-                yield self.finding(
-                    module,
-                    node,
-                    f"datetime.{base.attr}.{func.attr}() reads the wall clock; "
-                    "use Simulator.now instead",
-                )
-            # datetime.now() / date.today() via from-import
-            elif (
-                func.attr in _WALL_CLOCK_DATETIME
-                and isinstance(base, ast.Name)
-                and base.id in datetime_classes
-            ):
-                yield self.finding(
-                    module,
-                    node,
-                    f"{base.id}.{func.attr}() reads the wall clock; use Simulator.now instead",
-                )
+        for node, description in _iter_wall_clock_uses(module.tree):
+            yield self.finding(
+                module,
+                node,
+                f"{description}; use Simulator.now (simulated time) instead",
+            )
 
 
 def _probability_words(node: ast.AST) -> bool:
@@ -509,3 +507,73 @@ class NoCachedMethodsRule(Rule):
                 return f"functools.{target.attr}"
             return target.attr
         return None
+
+
+#: Registry factory methods that mint metric families directly.
+_REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+#: Attribute names through which instrumented code could reach a registry.
+_REGISTRY_HANDLES = frozenset({"metrics", "registry", "_registry"})
+
+
+@register
+class TelemetryDisciplineRule(Rule):
+    """RL008: two halves of the telemetry discipline.
+
+    In ``repro.obs`` (outside its ``host*`` modules), no wall-clock
+    reads: telemetry is clocked on *simulated* time so that recording a
+    run can never perturb it or make its traces irreproducible.  Capture
+    metadata that genuinely wants a wall-clock stamp goes through
+    :mod:`repro.obs.host`.
+
+    In simulation packages, no direct metric mutation: instrumented code
+    must go through the :class:`~repro.obs.Recorder` API
+    (``count``/``gauge``/``observe``), never reach into a registry
+    (``<x>.metrics.counter(...)``, ``<x>.registry.gauge(...)``).  The
+    recorder indirection is what keeps telemetry-off runs zero-cost and
+    lets one instrumentation site feed every exporter.
+    """
+
+    rule_id = "RL008"
+    summary = (
+        "telemetry discipline: no wall clock in repro.obs (except host*), "
+        "no direct metric-registry mutation in simulation packages"
+    )
+    packages = SIM_PACKAGES | {"obs"}
+
+    #: Module basename prefix exempt from the obs wall-clock ban.
+    HOST_PREFIX = "host"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.package == "obs":
+            yield from self._check_obs_wall_clock(module)
+        else:
+            yield from self._check_sim_metric_mutation(module)
+
+    def _check_obs_wall_clock(self, module: ModuleContext) -> Iterator[Finding]:
+        basename = module.path.replace("\\", "/").rsplit("/", 1)[-1]
+        if basename.startswith(self.HOST_PREFIX):
+            return
+        for node, description in _iter_wall_clock_uses(module.tree):
+            yield self.finding(
+                module,
+                node,
+                f"{description}; repro.obs is clocked on simulated time -- "
+                "only repro/obs/host*.py may read the host clock",
+            )
+
+    def _check_sim_metric_mutation(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            if func.attr not in _REGISTRY_FACTORIES:
+                continue
+            base = func.value
+            if isinstance(base, ast.Attribute) and base.attr in _REGISTRY_HANDLES:
+                yield self.finding(
+                    module,
+                    node,
+                    f".{base.attr}.{func.attr}(...) mutates a metrics registry "
+                    "directly; simulation code must record through the "
+                    "Recorder API (count/gauge/observe)",
+                )

@@ -1,0 +1,191 @@
+"""Run captures: a saved telemetry bundle, plus metric diffing.
+
+A :class:`Capture` is what ``--telemetry <path>`` writes and what the
+``repro-obs`` CLI reads back: merged metrics, the retained span/event
+stream, per-run metric sections, and host-side metadata.  The telemetry
+*content* is deterministic; only ``meta`` (stamped by
+:mod:`repro.obs.host`) may carry wall-clock context.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Format marker written into every capture file.
+CAPTURE_KIND = "repro-obs-capture"
+#: Bumped on incompatible layout changes.
+CAPTURE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Capture:
+    """One saved telemetry bundle.
+
+    Attributes:
+        meta: Host-side metadata (label, timestamp, pid, extras).
+        metrics: Merged registry snapshot over every run
+            (:func:`repro.obs.metrics.merge_snapshots` form).
+        spans: Retained span dicts; tagged with ``run`` (capture section)
+            and ``replicate`` (position in the fan-out) where known.
+        events: Retained instant-event dicts, tagged like spans.
+        runs: Per-run sections ``{"label", "metrics"}`` for drill-down.
+    """
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    runs: List[Dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_recorder(cls, recorder, meta: Optional[Dict[str, Any]] = None, label: str = "run") -> "Capture":
+        """Wrap one :class:`~repro.obs.recorder.TelemetryRecorder`'s data."""
+        payload = recorder.as_payload()
+        return cls(
+            meta=dict(meta) if meta else {},
+            metrics=payload["metrics"],
+            spans=payload["spans"],
+            events=payload["events"],
+            runs=[{"label": label, "metrics": payload["metrics"]}],
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready document (carries kind and schema version)."""
+        return {
+            "kind": CAPTURE_KIND,
+            "schema_version": CAPTURE_SCHEMA_VERSION,
+            "meta": self.meta,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "events": self.events,
+            "runs": self.runs,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "Capture":
+        """Parse a capture document; refuses foreign or future formats."""
+        if document.get("kind") != CAPTURE_KIND:
+            raise ValueError(
+                f"not a telemetry capture (kind={document.get('kind')!r})"
+            )
+        version = document.get("schema_version")
+        if version != CAPTURE_SCHEMA_VERSION:
+            raise ValueError(
+                f"capture schema v{version} not supported "
+                f"(this build reads v{CAPTURE_SCHEMA_VERSION})"
+            )
+        return cls(
+            meta=document.get("meta", {}),
+            metrics=document.get("metrics", {}),
+            spans=document.get("spans", []),
+            events=document.get("events", []),
+            runs=document.get("runs", []),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the capture as pretty, key-sorted JSON; returns the path."""
+        target = Path(path)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True, default=repr) + "\n"
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Capture":
+        """Read a capture previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _series_scalars(family: dict) -> Dict[str, Union[int, float]]:
+    """Flatten one family's series to ``label-string -> scalar`` rows.
+
+    Counters/gauges use their value; histograms use their observation
+    count (the diffable scalar; sums are still in the capture).
+    """
+    rows: Dict[str, Union[int, float]] = {}
+    for entry in family.get("series", []):
+        label = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+        rows[label] = entry["count"] if family["kind"] == "histogram" else entry["value"]
+    return rows
+
+
+def diff_captures(a: Capture, b: Capture) -> List[dict]:
+    """Metric deltas between two captures, sorted by metric then labels.
+
+    Each row: ``{"metric", "kind", "labels", "a", "b", "delta"}`` where
+    a missing series counts as 0 (kind mismatches raise).
+    """
+    rows: List[dict] = []
+    names = sorted(set(a.metrics) | set(b.metrics))
+    for name in names:
+        family_a = a.metrics.get(name)
+        family_b = b.metrics.get(name)
+        kind_a = family_a["kind"] if family_a else None
+        kind_b = family_b["kind"] if family_b else None
+        if kind_a and kind_b and kind_a != kind_b:
+            raise ValueError(f"metric {name!r} is a {kind_a} in A but a {kind_b} in B")
+        kind = kind_a or kind_b
+        rows_a = _series_scalars(family_a) if family_a else {}
+        rows_b = _series_scalars(family_b) if family_b else {}
+        for label in sorted(set(rows_a) | set(rows_b)):
+            value_a = rows_a.get(label, 0)
+            value_b = rows_b.get(label, 0)
+            rows.append(
+                {
+                    "metric": name,
+                    "kind": kind,
+                    "labels": label,
+                    "a": value_a,
+                    "b": value_b,
+                    "delta": value_b - value_a,
+                }
+            )
+    return rows
+
+
+def format_diff(rows: List[dict], only_changed: bool = False) -> str:
+    """Fixed-width text rendering of :func:`diff_captures` rows."""
+    if only_changed:
+        rows = [row for row in rows if row["delta"] != 0]
+    if not rows:
+        return "no metric deltas"
+    header = ("metric", "labels", "a", "b", "delta")
+    cells = [
+        (
+            row["metric"],
+            row["labels"] or "-",
+            _fmt(row["a"]),
+            _fmt(row["b"]),
+            _fmt(row["delta"], signed=True),
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in cells)) for i in range(len(header))
+    ]
+    lines = ["  ".join(header[i].ljust(widths[i]) for i in range(len(header)))]
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def _fmt(value: Union[int, float], signed: bool = False) -> str:
+    sign = "+" if signed else ""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:{sign}.4g}"
+    return f"{int(value):{sign}d}"
+
+
+__all__ = [
+    "CAPTURE_KIND",
+    "CAPTURE_SCHEMA_VERSION",
+    "Capture",
+    "diff_captures",
+    "format_diff",
+]

@@ -1,0 +1,35 @@
+"""Host-side wall-clock helpers -- the only obs module allowed to read it.
+
+Everything else in ``repro.obs`` is clocked on *simulated* time so that
+telemetry can never perturb or depend on the host.  Capture files do
+want to know when and where they were taken, though, so that metadata
+is stamped here and nowhere else.  reprolint rule RL008 enforces the
+split: wall-clock reads in ``repro/obs/`` outside ``host*.py`` modules
+are findings.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+
+def host_timestamp() -> float:
+    """Seconds since the epoch (wall clock), for capture metadata only."""
+    return time.time()
+
+
+def capture_meta(label: str, **extra: Any) -> Dict[str, Any]:
+    """Standard capture metadata: label, wall-clock stamp, pid, extras."""
+    meta: Dict[str, Any] = {
+        "label": label,
+        "captured_at_unix": host_timestamp(),
+        "host_pid": os.getpid(),
+    }
+    for key in sorted(extra):
+        meta[key] = extra[key]
+    return meta
+
+
+__all__ = ["capture_meta", "host_timestamp"]

@@ -40,6 +40,7 @@ from repro.parallel.reducer import (
     aggregate_metrics,
     combined_fingerprint,
     mean,
+    merge_telemetry,
     ordered,
     stderr,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "default_chunk_size",
     "fingerprint_of",
     "mean",
+    "merge_telemetry",
     "ordered",
     "parallel_map",
     "replicate_seeds",

@@ -12,15 +12,25 @@ from __future__ import annotations
 import copy
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.distributions import ReliabilityDistribution
 from repro.core.strategy import RedundancyStrategy
 from repro.dca import DcaConfig, run_dca
+from repro.obs.context import current_sink
+from repro.obs.recorder import TelemetryRecorder
 from repro.parallel.engine import ReplicateError, parallel_map
 from repro.parallel.envelope import ReplicateEnvelope, fingerprint_of
+from repro.parallel.reducer import merge_telemetry
 from repro.parallel.seeds import replicate_seeds
+
+#: Per-worker record caps: telemetry payloads travel back through the
+#: process pool, so buffers are bounded.  Drops are deterministic (a pure
+#: function of the replicate's event stream), which preserves the
+#: jobs=N == jobs=1 byte-identity of merged telemetry.
+_WORKER_SPAN_CAP = 10_000
+_WORKER_EVENT_CAP = 10_000
 
 
 @dataclass(frozen=True)
@@ -32,6 +42,11 @@ class DcaReplicateSpec:
     node-aware strategies start every replicate from a clean slate either
     way.  ``overrides`` carries extra :class:`DcaConfig` fields as a
     sorted tuple of pairs to keep the spec hashable.
+
+    ``telemetry`` asks the worker to run under a buffering
+    :class:`~repro.obs.TelemetryRecorder` and ship the capped payload
+    back in the envelope.  It never perturbs the simulation: metrics and
+    fingerprints are identical with it on or off.
     """
 
     seed: int
@@ -40,6 +55,7 @@ class DcaReplicateSpec:
     nodes: int
     reliability: Union[float, ReliabilityDistribution]
     overrides: Tuple[Tuple[str, Any], ...] = ()
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -51,6 +67,7 @@ class _RawReplicate:
     fingerprint: str
     duration: float
     worker_pid: int
+    telemetry: Optional[dict] = None
 
 
 def dca_replicate_specs(
@@ -61,6 +78,7 @@ def dca_replicate_specs(
     reliability: Union[float, ReliabilityDistribution],
     replications: int,
     seed: int,
+    telemetry: bool = False,
     **config_overrides: Any,
 ) -> List[DcaReplicateSpec]:
     """Build one spec per replicate with spawn-derived seeds."""
@@ -74,6 +92,7 @@ def dca_replicate_specs(
             nodes=nodes,
             reliability=reliability,
             overrides=overrides,
+            telemetry=telemetry,
         )
         for replicate_seed in seeds
     ]
@@ -82,6 +101,11 @@ def dca_replicate_specs(
 def run_dca_replicate(spec: DcaReplicateSpec) -> _RawReplicate:
     """Execute one replicate (the module-level, picklable worker)."""
     start = time.perf_counter()
+    recorder = None
+    if spec.telemetry:
+        recorder = TelemetryRecorder(
+            max_spans=_WORKER_SPAN_CAP, max_events=_WORKER_EVENT_CAP
+        )
     # Deep-copy so serial runs match parallel ones (where pickling makes
     # the copy) even if a caller shares one strategy across specs.
     report = run_dca(
@@ -92,7 +116,8 @@ def run_dca_replicate(spec: DcaReplicateSpec) -> _RawReplicate:
             reliability=spec.reliability,
             seed=spec.seed,
             **dict(spec.overrides),
-        )
+        ),
+        recorder=recorder,
     )
     metrics = report.as_dict()
     return _RawReplicate(
@@ -101,6 +126,7 @@ def run_dca_replicate(spec: DcaReplicateSpec) -> _RawReplicate:
         fingerprint=fingerprint_of(metrics),
         duration=time.perf_counter() - start,
         worker_pid=os.getpid(),
+        telemetry=recorder.as_payload() if recorder is not None else None,
     )
 
 
@@ -112,11 +138,20 @@ def run_dca_replicates(
 ) -> List[ReplicateEnvelope]:
     """Run DCA replicates (serial or fanned out) and envelope the results.
 
+    When a :class:`~repro.obs.TelemetrySink` is installed (see
+    ``--telemetry`` on the experiment CLIs), specs are transparently
+    upgraded to record telemetry and the position-merged payload is
+    handed to the sink.  The upgrade happens parent-side only and never
+    changes seeds, metrics, or fingerprints.
+
     Raises:
         ReplicateError: naming the failed replicate's position *and
             seed* when any replicate crashes.
     """
     specs = list(specs)
+    sink = current_sink()
+    if sink is not None and specs and not any(spec.telemetry for spec in specs):
+        specs = [replace(spec, telemetry=True) for spec in specs]
     try:
         raws = parallel_map(
             run_dca_replicate, specs, jobs=jobs, chunk_size=chunk_size
@@ -133,7 +168,7 @@ def run_dca_replicates(
                 traceback_text=exc.traceback_text,
             ) from exc
         raise
-    return [
+    envelopes = [
         ReplicateEnvelope(
             position=position,
             seed=raw.seed,
@@ -141,6 +176,11 @@ def run_dca_replicates(
             fingerprint=raw.fingerprint,
             duration=raw.duration,
             worker_pid=raw.worker_pid,
+            telemetry=raw.telemetry,
         )
         for position, raw in enumerate(raws)
     ]
+    if sink is not None and envelopes:
+        label = f"{specs[0].strategy.describe()} x{len(specs)}"
+        sink.add_run(label, merge_telemetry(envelopes))
+    return envelopes

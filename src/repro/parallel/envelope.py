@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 
 def fingerprint_of(metrics: Dict[str, Any]) -> str:
@@ -41,6 +41,10 @@ class ReplicateEnvelope:
         duration: Worker-side wall-clock seconds spent on the replicate.
         worker_pid: PID of the process that ran it (diagnostics only;
             excluded from fingerprints and aggregation).
+        telemetry: Optional :meth:`~repro.obs.TelemetryRecorder.as_payload`
+            mapping recorded inside the worker when the spec asked for
+            telemetry.  Like ``worker_pid``, it is observability sidecar
+            data: excluded from fingerprints and metric aggregation.
     """
 
     position: int
@@ -49,3 +53,4 @@ class ReplicateEnvelope:
     fingerprint: str = ""
     duration: float = 0.0
     worker_pid: int = 0
+    telemetry: Optional[Dict[str, Any]] = None

@@ -11,8 +11,9 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import merge_snapshots
 from repro.parallel.envelope import ReplicateEnvelope
 
 
@@ -82,6 +83,48 @@ def aggregate_metrics(
             values=values,
         )
     return out
+
+
+def merge_telemetry(
+    envelopes: Sequence[ReplicateEnvelope],
+) -> Optional[Dict[str, Any]]:
+    """Merge per-replicate telemetry payloads, in position order.
+
+    Metric snapshots merge via :func:`repro.obs.merge_snapshots`
+    (counters and histogram bins sum, gauges take the high-water mark);
+    spans and events are concatenated position-by-position, each tagged
+    with its ``replicate`` index.  Because everything is keyed on
+    *position* -- never completion order or worker identity -- the merged
+    payload is byte-identical for ``jobs=1`` and ``jobs=N`` runs of the
+    same specs.
+
+    Returns ``None`` when no envelope carries telemetry.
+    """
+    payloads = [
+        (envelope.position, envelope.telemetry)
+        for envelope in ordered(envelopes)
+        if envelope.telemetry is not None
+    ]
+    if not payloads:
+        return None
+    spans: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    dropped_spans = 0
+    dropped_events = 0
+    for position, payload in payloads:
+        for span in payload.get("spans", ()):
+            spans.append({**span, "replicate": position})
+        for event in payload.get("events", ()):
+            events.append({**event, "replicate": position})
+        dropped_spans += payload.get("dropped_spans", 0)
+        dropped_events += payload.get("dropped_events", 0)
+    return {
+        "metrics": merge_snapshots([payload["metrics"] for _, payload in payloads]),
+        "spans": spans,
+        "events": events,
+        "dropped_spans": dropped_spans,
+        "dropped_events": dropped_events,
+    }
 
 
 def combined_fingerprint(envelopes: Sequence[ReplicateEnvelope]) -> str:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs.names import SIM_COMPACTIONS, SIM_EVENTS, SIM_HEAP_SIZE
+from repro.obs.recorder import Recorder, active
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.sim.rng import RngRegistry
 
@@ -40,14 +42,25 @@ class Simulator:
     Attributes:
         now: Current simulated time.  Starts at 0.0.
         rng: The :class:`~repro.sim.rng.RngRegistry` for this run.
+        recorder: The telemetry recorder, or ``None``.  Disabled
+            recorders (e.g. :class:`~repro.obs.recorder.NullRecorder`)
+            are normalized to ``None`` at construction, so the run loop
+            itself stays untouched when telemetry is off; the engine
+            records run-level aggregates (events processed, heap size,
+            compactions) after each :meth:`run`.
     """
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self._queue = EventQueue()
         self._running = False
         self._events_processed = 0
+        self.recorder = active(recorder)
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -142,6 +155,10 @@ class Simulator:
         # for everything touched per iteration.
         queue = self._queue
         pop_due = queue.pop_due
+        recorder = self.recorder
+        if recorder is not None:
+            events_before = self._events_processed
+            compactions_before = queue.compactions
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -171,6 +188,12 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+        if recorder is not None:
+            # Run-level aggregates only: the hot loop above is untouched,
+            # so telemetry-off runs execute exactly the historical path.
+            recorder.count(SIM_EVENTS, self._events_processed - events_before)
+            recorder.count(SIM_COMPACTIONS, queue.compactions - compactions_before)
+            recorder.gauge(SIM_HEAP_SIZE, queue.heap_size)
 
     def reset(self, seed: Optional[int] = None) -> None:
         """Clear the queue and clock for reuse, reseeding the RNG registry."""

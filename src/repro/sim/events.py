@@ -104,6 +104,8 @@ class EventQueue:
         self._live = 0
         #: Cancelled entries still physically present in the heap.
         self._cancelled_pending = 0
+        #: Cumulative :meth:`compact` sweeps (telemetry; survives clear()).
+        self.compactions = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events still queued."""
@@ -157,6 +159,7 @@ class EventQueue:
         self._heap = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_pending = 0
+        self.compactions += 1
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next live event, or ``None`` if empty."""

@@ -61,6 +61,23 @@ class TestSuites:
         with pytest.raises(KeyError):
             run_suite("warp_drive")
 
+    def test_obs_overhead_gates_a_ratio_and_agrees_across_variants(self):
+        payload = run_suite("obs_overhead", seed=1, quick=True, repeats=1)
+        ratio = payload["timings"]["null_recorder_ratio"]["best_seconds"]
+        assert ratio > 0
+        results = payload["results"]
+        assert set(results) >= {
+            "bare",
+            "null_recorder",
+            "telemetry_recorder",
+            "null_recorder_overhead",
+            "telemetry_recorder_overhead",
+        }
+        # Checksum is over the bare run's metrics, which the suite asserts
+        # equal across all three variants; same seed -> same checksum.
+        again = run_suite("obs_overhead", seed=1, quick=True, repeats=1)
+        assert payload["checksum"] == again["checksum"]
+
 
 class TestCli:
     def test_quick_run_writes_reports(self, tmp_path, capsys):
@@ -108,3 +125,23 @@ class TestCli:
         out = capsys.readouterr().out
         for name in SUITES:
             assert name in out
+
+    def test_telemetry_flag_writes_a_capture(self, tmp_path, capsys):
+        from repro.obs import Capture
+
+        target = tmp_path / "cap.json"
+        code = bench_main(
+            [
+                "decide_loops",
+                "--quick",
+                "--output-dir",
+                str(tmp_path),
+                "--telemetry",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert "telemetry capture" in capsys.readouterr().out
+        capture = Capture.load(target)
+        assert capture.meta["label"] == "bench:dca_run"
+        assert capture.metrics["dca.accept"]["series"][0]["value"] == 300

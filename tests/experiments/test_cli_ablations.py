@@ -34,6 +34,19 @@ class TestCli:
         assert cli_main(["examples"]) == 0
         assert "Table E1" in capsys.readouterr().out
 
+    def test_telemetry_flag_writes_capture(self, tmp_path, capsys):
+        from repro.obs import Capture
+        from repro.obs.context import current_sink
+
+        target = tmp_path / "cap.json"
+        assert cli_main(["examples", "--telemetry", str(target)]) == 0
+        assert "telemetry capture written" in capsys.readouterr().err
+        capture = Capture.load(target)
+        assert capture.meta["label"] == "experiments:examples"
+        assert capture.meta["scale"] == "default"
+        # The sink must not leak past the command.
+        assert current_sink() is None
+
     def test_scale_flag_validated(self):
         with pytest.raises(SystemExit):
             cli_main(["examples", "--scale", "galactic"])

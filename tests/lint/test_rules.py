@@ -358,6 +358,78 @@ class TestRL007CachedMethods:
         assert findings == []
 
 
+class TestRL008TelemetryDiscipline:
+    def test_wall_clock_in_obs_flagged(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            path="repro/obs/trace.py",
+        )
+        assert rule_ids(findings) == ["RL008"]
+        assert "host" in findings[0].message
+
+    def test_host_module_exempt(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        assert lint(source, path="repro/obs/host.py") == []
+        assert lint(source, path="repro/obs/host_meta.py") == []
+
+    def test_datetime_now_in_obs_flagged(self):
+        findings = lint(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            path="repro/obs/capture.py",
+        )
+        assert rule_ids(findings) == ["RL008"]
+
+    def test_direct_registry_mutation_in_sim_package_flagged(self):
+        findings = lint(
+            """
+            def record(recorder):
+                recorder.metrics.counter("dca.submit").inc()
+                recorder.registry.gauge("heap").set(3)
+            """,
+            path="repro/dca/server.py",
+        )
+        assert rule_ids(findings) == ["RL008", "RL008"]
+        assert "Recorder API" in findings[0].message
+
+    def test_recorder_api_calls_legal_in_sim_package(self):
+        source = """
+            def record(rec, now):
+                rec.count("dca.submit")
+                rec.gauge("sim.heap_size", 4)
+                rec.observe("dca.wave_size", 3)
+            """
+        assert lint(source, path="repro/dca/server.py") == []
+
+    def test_obs_package_may_touch_its_own_registry(self):
+        source = """
+            def record(self, name, value):
+                self._registry.counter(name).inc(value)
+            """
+        assert lint(source, path="repro/obs/recorder.py") == []
+
+    def test_experiments_out_of_scope(self):
+        source = """
+            def record(recorder):
+                recorder.metrics.counter("x").inc()
+            """
+        assert lint(source, path="repro/experiments/figure5a.py") == []
+
+
 class TestSuppression:
     def test_inline_disable_silences_one_line(self):
         engine = LintEngine()
@@ -480,6 +552,7 @@ class TestEngineBasics:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
         ]
 
     def test_rule_subset_selection(self):
@@ -493,7 +566,7 @@ class TestEngineBasics:
 
 
 @pytest.mark.parametrize(
-    "rule_id", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+    "rule_id", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"]
 )
 def test_every_rule_has_docs_metadata(rule_id):
     cls = registered_rules()[rule_id]

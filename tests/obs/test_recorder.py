@@ -1,0 +1,113 @@
+"""Recorder contract: null/tee normalization, buffering, caps."""
+
+from repro.obs import NullRecorder, Recorder, TeeRecorder, TelemetryRecorder, active
+
+
+class TestActive:
+    def test_none_stays_none(self):
+        assert active(None) is None
+
+    def test_null_recorder_normalizes_to_none(self):
+        assert active(NullRecorder()) is None
+
+    def test_enabled_recorder_passes_through(self):
+        recorder = TelemetryRecorder()
+        assert active(recorder) is recorder
+
+    def test_empty_tee_normalizes_to_none(self):
+        assert active(TeeRecorder(NullRecorder(), None)) is None
+
+
+class TestNullRecorder:
+    def test_every_method_is_a_noop(self):
+        recorder = NullRecorder()
+        recorder.event("e", 1.0)
+        recorder.span_begin("s", 1, 0.0)
+        recorder.span_end("s", 1, 2.0)
+        recorder.count("c")
+        recorder.gauge("g", 5)
+        recorder.observe("h", 0.5)
+        assert recorder.enabled is False
+
+
+class TestTelemetryRecorder:
+    def test_span_pairing_on_name_and_key(self):
+        recorder = TelemetryRecorder()
+        recorder.span_begin("job", 1, 0.0, {"node": 1})
+        recorder.span_begin("job", 2, 0.5, {"node": 2})
+        recorder.span_end("job", 1, 2.0, {"outcome": "complete"})
+        assert recorder.open_spans == 1
+        (span,) = recorder.spans
+        assert (span.key, span.start, span.end) == (1, 0.0, 2.0)
+        assert span.attrs == {"node": 1, "outcome": "complete"}
+        assert span.unmatched is False
+
+    def test_unmatched_end_is_zero_length_and_flagged(self):
+        recorder = TelemetryRecorder()
+        recorder.span_end("job", 9, 3.0)
+        (span,) = recorder.spans
+        assert span.start == span.end == 3.0
+        assert span.unmatched is True
+
+    def test_span_cap_drops_and_counts(self):
+        recorder = TelemetryRecorder(max_spans=1)
+        for key in (1, 2, 3):
+            recorder.span_begin("job", key, 0.0)
+            recorder.span_end("job", key, 1.0)
+        assert len(recorder.spans) == 1
+        assert recorder.dropped_spans == 2
+
+    def test_event_cap_drops_and_counts(self):
+        recorder = TelemetryRecorder(max_events=2)
+        for i in range(5):
+            recorder.event("decide", float(i))
+        assert len(recorder.events) == 2
+        assert recorder.dropped_events == 3
+
+    def test_metrics_flow_into_registry(self):
+        recorder = TelemetryRecorder()
+        recorder.count("c", 3)
+        recorder.gauge("g", 7)
+        recorder.observe("h", 0.1)
+        snap = recorder.registry.snapshot()
+        assert snap["c"]["series"][0]["value"] == 3
+        assert snap["g"]["series"][0]["value"] == 7
+        assert snap["h"]["series"][0]["count"] == 1
+
+    def test_payload_shape(self):
+        recorder = TelemetryRecorder()
+        recorder.span_begin("s", 1, 0.0)
+        recorder.span_end("s", 1, 1.0)
+        recorder.event("e", 0.5, {"k": "v"})
+        recorder.count("c")
+        payload = recorder.as_payload()
+        assert sorted(payload) == [
+            "dropped_events",
+            "dropped_spans",
+            "events",
+            "metrics",
+            "open_spans",
+            "spans",
+        ]
+        assert payload["spans"][0]["name"] == "s"
+        assert payload["events"][0]["attrs"] == {"k": "v"}
+
+
+class TestTeeRecorder:
+    def test_forwards_to_all_enabled_recorders(self):
+        a, b = TelemetryRecorder(), TelemetryRecorder()
+        tee = TeeRecorder(a, NullRecorder(), b)
+        assert tee.enabled
+        tee.count("c", 2)
+        tee.event("e", 1.0)
+        assert a.registry.counter("c").value() == 2
+        assert b.registry.counter("c").value() == 2
+        assert len(a.events) == len(b.events) == 1
+
+    def test_base_recorder_interface_is_noop(self):
+        # The abstract base must be safe to call: adapters may override
+        # only a subset of hooks.
+        recorder = Recorder()
+        recorder.count("c")
+        recorder.event("e", 0.0)
+        assert recorder.enabled is False

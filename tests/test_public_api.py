@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.parallel",
     "repro.bench",
+    "repro.obs",
 ]
 
 
