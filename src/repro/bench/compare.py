@@ -11,7 +11,9 @@ against the committed baseline ``BENCH_<suite>.json`` in ``DIR``:
   best-of-N is the noise-robust statistic (mean absorbs scheduler jitter);
 * **parameters must match** -- comparing a quick run against a full
   baseline (or different seeds/sizes) would be meaningless, so the gate
-  refuses rather than producing a garbage verdict.
+  refuses rather than producing a garbage verdict.  Quick runs resolve
+  to the suite's dedicated quick baseline (``BENCH_<name>.quick.json``),
+  so both sizes can be committed and gated side by side.
 
 Speedups below 1.0 within tolerance are reported but pass: baselines are
 a *floor*, refreshed deliberately (rerun the suites and commit the new
@@ -115,8 +117,13 @@ def compare_to_baseline(
 
     Returns ``None`` when ``baseline_dir`` has no report for the suite (a
     new suite is not a regression; commit its report to start gating it).
+
+    Quick runs are judged against the suite's *quick* baseline
+    (``BENCH_<name>.quick.json``), full runs against the full one, so a
+    per-PR smoke gate and a nightly full gate can share one baseline
+    directory without ever comparing across sizes.
     """
-    path = report_path(name, baseline_dir)
+    path = report_path(name, baseline_dir, quick=bool(current.get("quick")))
     if not path.exists():
         return None
     baseline = json.loads(path.read_text())

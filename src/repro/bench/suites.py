@@ -1,12 +1,14 @@
 """The benchmark suites: voting hot paths, the DES engine, the DCA
-model, and the serial-vs-parallel figure sweep.
+model, the serial-vs-parallel figure sweep, and the million-task
+sharded ``scale`` tier.
 
 Every suite is deterministic given its seed: reports carry a checksum
 (:func:`repro.parallel.fingerprint_of` over the computed results) so CI
 can flag *correctness* drift, not just perf drift.  The ``figure_sweep``
 suite computes the same figure serially and in parallel and compares the
 two checksums -- a standing regression test for the replication engine's
-jobs-invariance guarantee.
+jobs-invariance guarantee; the ``scale`` suite does the same for the
+sharded columnar task server at 10^6 tasks / 10^5 nodes.
 """
 
 from __future__ import annotations
@@ -24,8 +26,15 @@ from repro.core import (
 )
 from repro.core.runner import monte_carlo
 from repro.dca import DcaConfig, run_dca
+from repro.dca import columnar
 from repro.obs import NullRecorder, TelemetryRecorder
-from repro.parallel import fingerprint_of, resolve_jobs
+from repro.parallel import (
+    fingerprint_of,
+    merge_shard_reports,
+    resolve_jobs,
+    run_dca_shards,
+    shard_specs,
+)
 from repro.sim.engine import Simulator
 
 #: suite name -> callable(seed=, jobs=, quick=, repeats=) -> payload dict
@@ -298,6 +307,92 @@ def bench_figure_sweep(
         "parallel_checksum": parallel_checksum,
         "checksum": serial_checksum,
         "diverged": serial_checksum != parallel_checksum,
+    }
+
+
+@_suite
+def bench_scale(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """Million-task tier: the sharded columnar engine, serial vs parallel.
+
+    Splits one computation into task-server shards
+    (:func:`repro.parallel.shard_specs`), runs them at ``jobs=1`` and
+    ``jobs=N``, and merges each side with
+    :func:`repro.parallel.merge_shard_reports`.  The two merged reports
+    -- including their :func:`~repro.parallel.combined_fingerprint`
+    checksums -- must be byte-identical; any divergence sets
+    ``diverged`` and the CLI turns it into a non-zero exit for CI.
+
+    Full size is 10^6 tasks over 10^5 nodes (the scaling target from
+    ``docs/scaling.md``); quick size is the CI smoke gate.  Quick runs
+    finish in tens of milliseconds, where wall-clock noise dwarfs any
+    real signal, so -- like ``obs_overhead``'s ratio trick -- the quick
+    payload gates *checksum identity only* and reports its raw timings
+    ungated under ``results``; perf regressions are gated at full size,
+    where best-of-``repeats`` seconds are stable.  Without numpy the
+    suite degrades to a small object-DES run -- the ``engine`` param
+    then differs from any committed columnar baseline, so ``--compare``
+    reports *incomparable* instead of a vacuous pass.
+    """
+    engine = "des" if columnar.np is None else "columnar"
+    if engine == "columnar":
+        tasks = 20_000 if quick else 1_000_000
+        nodes = 2_000 if quick else 100_000
+    else:
+        tasks = 2_000 if quick else 10_000
+        nodes = 200 if quick else 1_000
+    shards = 4 if quick else 8
+    # The identity under test is cross-process determinism, so the
+    # parallel leg gets at least two workers even on a one-CPU host.
+    parallel_jobs = max(2, resolve_jobs(jobs))
+    params = dict(
+        tasks=tasks, nodes=nodes, shards=shards, reliability=0.7, engine=engine
+    )
+
+    def run(n_jobs: int) -> dict:
+        specs = shard_specs(
+            lambda: IterativeRedundancy(3),
+            tasks=tasks,
+            nodes=nodes,
+            reliability=0.7,
+            shards=shards,
+            seed=seed,
+            engine=engine,
+        )
+        return merge_shard_reports(run_dca_shards(specs, jobs=n_jobs))
+
+    serial_stats, serial_merged = time_callable(
+        lambda: run(1), repeats=repeats, warmup=0
+    )
+    parallel_stats, parallel_merged = time_callable(
+        lambda: run(parallel_jobs), repeats=repeats, warmup=0
+    )
+    serial_checksum = serial_merged["checksum"]
+    parallel_checksum = parallel_merged["checksum"]
+    timings = {
+        "serial": serial_stats.as_dict(),
+        "parallel": parallel_stats.as_dict(),
+    }
+    results = {
+        "merged": serial_merged,
+        "tasks_per_second": tasks / serial_stats.best,
+        "speedup": serial_stats.best / parallel_stats.best,
+    }
+    if quick:
+        results["timings_ungated"] = timings
+    return {
+        "seed": seed,
+        "quick": quick,
+        "jobs": parallel_jobs,
+        "params": params,
+        "timings": {} if quick else timings,
+        "results": results,
+        "serial_checksum": serial_checksum,
+        "parallel_checksum": parallel_checksum,
+        "checksum": serial_checksum,
+        # Whole-report equality, strictly stronger than checksum equality.
+        "diverged": serial_merged != parallel_merged,
     }
 
 

@@ -19,6 +19,7 @@ Entry point::
     print(report.summary())
 """
 
+from repro.dca.columnar import ColumnarReport, ColumnarUnsupported, run_columnar_dca
 from repro.dca.config import DcaConfig
 from repro.dca.failures import (
     ByzantineCollusion,
@@ -44,6 +45,8 @@ from repro.dca.workload import Task, Workload
 __all__ = [
     "ByzantineCollusion",
     "CheckpointPolicy",
+    "ColumnarReport",
+    "ColumnarUnsupported",
     "CorrelatedFailures",
     "DcaConfig",
     "DcaReport",
@@ -60,6 +63,7 @@ __all__ = [
     "Workload",
     "expected_completion_time",
     "optimal_interval",
+    "run_columnar_dca",
     "run_dca",
     "simulate_job",
 ]

@@ -1,0 +1,464 @@
+"""Columnar wave-batched DCA engine for million-task runs.
+
+The object-per-job DES (:mod:`repro.dca.simulation`) tops out around a
+few thousand tasks per second: every job is a Python object, every vote a
+dict update, every completion a heap event.  This module replaces that
+churn with struct-of-arrays state -- one numpy column per task for the
+``True``/``False`` tallies, silent counts, wave clocks, and jobs used --
+and advances *all* active tasks one wave at a time.
+
+The model is the paper's own analysis regime:
+
+* **Assumption 1 (contention-free pool):** every wave's jobs run on
+  independent random nodes concurrently, so a task's wave completes at
+  the slowest of its jobs and the next wave starts immediately.  Node
+  contention delays *when* jobs run, never *what* they report, so
+  reliability, cost factor, and wave counts are exactly those of the
+  DES; response times and makespan are the contention-free values.
+* **Assumption 4 (binary votes):** the colluding-Byzantine worst case,
+  :class:`~repro.dca.failures.ByzantineCollusion`, where each task has
+  one true and one colluding wrong value.  Tallies are two int columns.
+
+Strategy decisions stay behind the existing interfaces: the built-in
+strategies (iterative, progressive, traditional, complex-iterative) have
+vectorised deciders that replay their ``decide(VoteState)`` arithmetic
+over whole columns, and any other non-node-aware strategy falls back to
+a per-task loop through a real :class:`~repro.core.types.VoteState` --
+slower, but semantically the strategy's own code.
+
+Configurations outside the regime (churn, spot-checks, node-aware
+strategies, non-binary failure models, time horizons) are rejected with
+:class:`ColumnarUnsupported`; use the DES for those.
+
+Determinism: all draws come from seeded numpy generators whose seeds
+derive from the config seed via :class:`~repro.sim.rng.RngRegistry`
+spawn names, so same-config runs are byte-identical (given a numpy
+version) and the columnar engine never perturbs the DES streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Type
+
+try:  # gated: the container/CI images ship numpy, but it stays optional
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+from repro.core.iterative import IterativeRedundancy
+from repro.core.iterative_complex import ComplexIterativeRedundancy
+from repro.core.progressive import ProgressiveRedundancy
+from repro.core.strategy import RedundancyStrategy, is_node_aware
+from repro.core.traditional import TraditionalRedundancy
+from repro.core.types import VoteState
+from repro.dca.config import DcaConfig
+from repro.dca.failures import ByzantineCollusion
+from repro.obs.names import (
+    DCA_ACCEPTS,
+    DCA_DISPATCHES,
+    DCA_MAKESPAN,
+    DCA_SUBMITS,
+    DCA_TIMEOUTS,
+)
+from repro.obs.recorder import Recorder
+from repro.obs.recorder import active as active_recorder
+from repro.sim.rng import RngRegistry
+
+
+class ColumnarUnsupported(ValueError):
+    """The configuration falls outside the columnar engine's regime."""
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - exercised only without numpy
+        raise RuntimeError(
+            "the columnar engine needs numpy; install it or use repro.dca.run_dca"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnarReport:
+    """Aggregated results of one columnar run.
+
+    Mirrors the Section 4.1 measures of :class:`~repro.dca.report.DcaReport`
+    (and its :meth:`as_dict` keys exactly), but holds aggregates instead
+    of a million per-task records.
+    """
+
+    strategy: str
+    tasks_submitted: int
+    tasks_completed: int
+    tasks_correct: int
+    total_jobs: int
+    max_jobs_per_task: int
+    mean_response_time: float
+    max_response_time: float
+    mean_waves: float
+    makespan: float
+    jobs_timed_out: int
+    seed: int
+
+    @property
+    def system_reliability(self) -> float:
+        if not self.tasks_completed:
+            return math.nan
+        return self.tasks_correct / self.tasks_completed
+
+    @property
+    def cost_factor(self) -> float:
+        if not self.tasks_completed:
+            return math.nan
+        return self.total_jobs / self.tasks_completed
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict with the same keys as :meth:`DcaReport.as_dict`."""
+        return {
+            "strategy": self.strategy,
+            "tasks": self.tasks_completed,
+            "reliability": self.system_reliability,
+            "cost_factor": self.cost_factor,
+            "max_jobs": self.max_jobs_per_task,
+            "mean_response_time": self.mean_response_time,
+            "max_response_time": self.max_response_time,
+            "mean_waves": self.mean_waves,
+            "makespan": self.makespan,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"strategy                {self.strategy}",
+            f"tasks completed         {self.tasks_completed} / {self.tasks_submitted}",
+            f"time to complete        {self.makespan:.2f}",
+            f"total jobs              {self.total_jobs}",
+            f"avg jobs per task       {self.cost_factor:.3f}",
+            f"max jobs for any task   {self.max_jobs_per_task}",
+            f"tasks correct           {self.tasks_correct}"
+            f"  (system reliability {self.system_reliability:.4f})",
+            f"avg response time       {self.mean_response_time:.3f}",
+            f"max response time       {self.max_response_time:.3f}",
+        ]
+        if self.jobs_timed_out:
+            lines.append(f"jobs timed out          {self.jobs_timed_out}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Vectorised deciders
+# ---------------------------------------------------------------------------
+
+#: decider(strategy, true_votes, false_votes) ->
+#:     (accept_mask, accepted_is_true, more_jobs)
+#: All three outputs are columns over the active tasks; ``more_jobs`` is
+#: only meaningful where ``accept_mask`` is False.
+_Decider = Callable[[RedundancyStrategy, "np.ndarray", "np.ndarray"], Tuple]
+
+_DECIDERS: Dict[Type[RedundancyStrategy], _Decider] = {}
+
+
+def _decider(cls: Type[RedundancyStrategy]):
+    def register(fn: _Decider) -> _Decider:
+        _DECIDERS[cls] = fn
+        return fn
+
+    return register
+
+
+@_decider(IterativeRedundancy)
+def _decide_iterative(strategy, a, b):
+    # decide(): accept when |a - b| >= d (with any response); else
+    # dispatch d - margin (a full d when every job so far was silent).
+    margin = np.abs(a - b)
+    accept = (margin >= strategy.d) & ((a + b) > 0)
+    return accept, a > b, strategy.d - margin
+
+
+@_decider(ProgressiveRedundancy)
+def _decide_progressive(strategy, a, b):
+    # decide(): accept once one value holds the consensus; else dispatch
+    # the leader's deficit (ties lead with the False value, matching
+    # VoteState.ranked()'s repr ordering, but the deficit is the same).
+    leader = np.maximum(a, b)
+    accept = leader >= strategy.consensus
+    return accept, a > b, strategy.consensus - leader
+
+
+@_decider(TraditionalRedundancy)
+def _decide_traditional(strategy, a, b):
+    # decide(): re-issue silent jobs until k responses, then majority (k
+    # odd, binary model: the plurality leader is the majority).
+    responses = a + b
+    accept = responses >= strategy.k
+    return accept, a > b, strategy.k - responses
+
+
+@_decider(ComplexIterativeRedundancy)
+def _decide_complex(strategy, a, b):
+    # decide(): accept when leader - runner_up >= d(r, R, 0); else
+    # dispatch max(1, d0 + runner_up) - leader (a full max(1, d0) when
+    # no job has responded yet).
+    hi = np.maximum(a, b)
+    lo = np.minimum(a, b)
+    d0 = strategy._required_margin
+    responded = (a + b) > 0
+    accept = responded & ((hi - lo) >= d0)
+    more = np.where(responded, np.maximum(1, d0 + lo) - hi, max(1, d0))
+    return accept, a > b, more
+
+
+def _decide_fallback(strategy, a, b):
+    """Per-task decide through a real :class:`VoteState`.
+
+    The escape hatch for strategies without a vectorised decider: build
+    each active task's binary vote and let the strategy's own
+    ``decide()`` run.  O(active tasks) Python per wave, but the columnar
+    tallies stay the single source of truth.
+    """
+    accept = np.zeros(a.shape[0], dtype=bool)
+    value = np.zeros(a.shape[0], dtype=bool)
+    more = np.zeros(a.shape[0], dtype=np.int64)
+    for i in range(a.shape[0]):
+        vote = VoteState.binary(int(a[i]), int(b[i]))
+        decision = strategy.decide(vote)
+        if decision.done:
+            accept[i] = True
+            value[i] = bool(decision.accepted)
+        else:
+            more[i] = decision.more_jobs
+    return accept, value, more
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def _validate(config: DcaConfig) -> None:
+    model = config.failure_model
+    if model is not None and type(model) is not ByzantineCollusion:
+        raise ColumnarUnsupported(
+            "the columnar engine models the binary colluding-Byzantine "
+            f"failure model only, got {type(model).__name__}; use run_dca"
+        )
+    if config.arrival_rate or config.departure_rate:
+        raise ColumnarUnsupported("churn is not supported; use run_dca")
+    if config.spot_check_rate:
+        raise ColumnarUnsupported("spot-checks are not supported; use run_dca")
+    if config.max_time is not None:
+        raise ColumnarUnsupported("max_time horizons are not supported; use run_dca")
+    if is_node_aware(config.strategy):
+        raise ColumnarUnsupported(
+            "node-aware strategies need per-node bookkeeping; use run_dca"
+        )
+
+
+def run_columnar_dca(
+    config: DcaConfig,
+    recorder: Optional[Recorder] = None,
+    *,
+    max_waves: int = 10_000,
+) -> ColumnarReport:
+    """Run one DCA computation with columnar batch state.
+
+    Args:
+        config: The run configuration (same class the DES takes); see
+            :class:`ColumnarUnsupported` for the supported regime.
+        recorder: Optional telemetry recorder; receives run-level
+            aggregates (submits, dispatches, timeouts, accepts, makespan).
+        max_waves: Runaway guard; a healthy run needs a handful of waves.
+
+    Returns:
+        A :class:`ColumnarReport` with the Section 4.1 measures.
+    """
+    _require_numpy()
+    _validate(config)
+    strategy = config.strategy
+    decider = _DECIDERS.get(type(strategy), _decide_fallback)
+
+    registry = RngRegistry(config.seed).spawn("columnar")
+    rng_nodes = np.random.default_rng(registry.spawn("nodes").seed)
+    rng_select = np.random.default_rng(registry.spawn("selection").seed)
+    rng_failures = np.random.default_rng(registry.spawn("failures").seed)
+    rng_durations = np.random.default_rng(registry.spawn("durations").seed)
+
+    tasks = config.tasks
+    timeout = config.effective_timeout
+    silent_prob = config.unresponsive_prob
+
+    # Struct-of-arrays node pool: one column per node attribute.  A
+    # homogeneous pool (fixed reliability, no speed spread) collapses to
+    # scalars: per-job draws are then iid and no node indexing is needed.
+    distribution = config.reliability_distribution
+    homogeneous = config.speed_spread == 0.0 and not _draws(distribution)
+    if homogeneous:
+        node_reliability = None
+        node_speed = None
+        scalar_reliability = distribution.sample(rng_failures)  # no draw
+    else:
+        node_reliability = np.asarray(
+            [distribution.sample(_NumpyRandom(rng_nodes)) for _ in range(config.nodes)],
+            dtype=np.float64,
+        )
+        node_speed = 1.0 + config.speed_spread * rng_nodes.uniform(
+            -1.0, 1.0, config.nodes
+        )
+        scalar_reliability = 0.0
+
+    # Per-task columns (the struct-of-arrays _TaskState).
+    true_votes = np.zeros(tasks, dtype=np.int64)
+    false_votes = np.zeros(tasks, dtype=np.int64)
+    jobs_used = np.zeros(tasks, dtype=np.int64)
+    waves = np.zeros(tasks, dtype=np.int64)
+    clock = np.zeros(tasks, dtype=np.float64)
+    accepted_true = np.zeros(tasks, dtype=bool)
+
+    active = np.arange(tasks, dtype=np.int64)
+    pending = np.full(tasks, strategy.initial_jobs(), dtype=np.int64)
+
+    rec = active_recorder(recorder)
+    if rec is not None:
+        rec.count(DCA_SUBMITS, tasks)
+
+    total_dispatched = 0
+    timed_out = 0
+    wave = 0
+    while active.size:
+        wave += 1
+        if wave > max_waves:
+            raise RuntimeError(
+                f"columnar run exceeded {max_waves} waves; "
+                "the strategy may not be converging"
+            )
+        counts = pending[active]
+        segments = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        jobs = int(counts.sum())
+        total_dispatched += jobs
+
+        # Job draws, one column per quantity over this wave's jobs.
+        if homogeneous:
+            reliability = scalar_reliability
+            speed = 1.0
+        else:
+            node_index = rng_select.integers(0, config.nodes, jobs)
+            reliability = node_reliability[node_index]
+            speed = node_speed[node_index]
+        silent = (
+            rng_failures.random(jobs) < silent_prob
+            if silent_prob
+            else np.zeros(jobs, dtype=bool)
+        )
+        correct = rng_failures.random(jobs) < reliability
+        duration = rng_durations.uniform(config.duration_low, config.duration_high, jobs)
+        duration = duration * speed
+        # A job responds only if the node speaks up *and* beats the
+        # deadline (the DES deadline event outruns a same-time completion).
+        responded = ~silent & (duration < timeout)
+        response_time = np.where(responded, duration, timeout)
+
+        # Fold the wave into the tallies with segment reductions.
+        true_wave = np.add.reduceat((responded & correct).astype(np.int64), segments)
+        false_wave = np.add.reduceat((responded & ~correct).astype(np.int64), segments)
+        true_votes[active] += true_wave
+        false_votes[active] += false_wave
+        timed_out += jobs - int(responded.sum())
+        # Wave-synchronous clock: the wave resolves at its slowest job.
+        clock[active] += np.maximum.reduceat(response_time, segments)
+        jobs_used[active] += counts
+        waves[active] += 1
+
+        accept, value, more = decider(
+            strategy, true_votes[active], false_votes[active]
+        )
+        done = active[accept]
+        accepted_true[done] = value[accept]
+        pending[active] = more
+        active = active[~accept]
+
+    makespan = float(clock.max()) if tasks else 0.0
+    if rec is not None:
+        rec.count(DCA_DISPATCHES, total_dispatched)
+        rec.count(DCA_TIMEOUTS, timed_out)
+        rec.count(DCA_ACCEPTS, tasks)
+        rec.gauge(DCA_MAKESPAN, makespan)
+
+    return ColumnarReport(
+        strategy=strategy.describe(),
+        tasks_submitted=tasks,
+        tasks_completed=tasks,
+        tasks_correct=int(accepted_true.sum()),
+        total_jobs=int(jobs_used.sum()),
+        max_jobs_per_task=int(jobs_used.max()),
+        mean_response_time=float(clock.mean()),
+        max_response_time=float(clock.max()),
+        mean_waves=float(waves.mean()),
+        makespan=makespan,
+        jobs_timed_out=timed_out,
+        seed=config.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reliability-distribution bridging
+# ---------------------------------------------------------------------------
+
+
+class _NumpyRandom:
+    """Just enough of the ``random.Random`` surface for distributions.
+
+    :class:`~repro.core.distributions.ReliabilityDistribution` samplers
+    take a ``random.Random``; this adapter lets them draw from a seeded
+    numpy generator instead, so the node columns come from the columnar
+    seed family.
+    """
+
+    def __init__(self, rng) -> None:
+        self._rng = rng
+
+    def random(self) -> float:
+        return float(self._rng.random())
+
+    def uniform(self, low: float, high: float) -> float:
+        return float(self._rng.uniform(low, high))
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return float(self._rng.normal(mu, sigma))
+
+    def betavariate(self, alpha: float, beta: float) -> float:
+        return float(self._rng.beta(alpha, beta))
+
+    def choice(self, seq):
+        return seq[int(self._rng.integers(0, len(seq)))]
+
+
+def _draws(distribution) -> bool:
+    """Whether sampling the distribution consumes randomness.
+
+    Fixed reliabilities return their constant without drawing, so a
+    fixed homogeneous pool needs no node columns at all; anything else
+    gets a per-node reliability column.
+    """
+    probe = _CountingRandom()
+    distribution.sample(probe)
+    return probe.calls > 0
+
+
+class _CountingRandom:
+    """Counts draw calls without yielding randomness (probe double)."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def __getattr__(self, name: str):
+        def counted(*args, **kwargs):
+            self.calls += 1
+            if name == "choice":
+                return args[0][0]
+            return 0.5
+
+        return counted

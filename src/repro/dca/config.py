@@ -8,6 +8,7 @@ from typing import Optional, Union
 from repro.core.distributions import FixedReliability, ReliabilityDistribution
 from repro.core.strategy import RedundancyStrategy
 from repro.dca.failures import FailureModel
+from repro.sim.events import QUEUE_KINDS
 
 
 @dataclass
@@ -49,6 +50,9 @@ class DcaConfig:
             overhead otherwise).
         max_time: Optional simulated-time horizon; ``None`` runs until the
             computation completes.
+        queue: Event-queue structure for the DES -- ``"heap"`` (default)
+            or ``"calendar"`` (amortised O(1) at high event density).
+            Results are byte-identical either way; see ``docs/scaling.md``.
     """
 
     strategy: RedundancyStrategy
@@ -67,6 +71,7 @@ class DcaConfig:
     departure_rate: float = 0.0
     spot_check_rate: float = 0.0
     max_time: Optional[float] = None
+    queue: str = "heap"
 
     def __post_init__(self) -> None:
         if self.tasks < 1:
@@ -90,6 +95,10 @@ class DcaConfig:
             raise ValueError(f"spot-check rate must lie in [0, 1), got {self.spot_check_rate}")
         if self.deadline_factor <= 1.0:
             raise ValueError(f"deadline factor must exceed 1, got {self.deadline_factor}")
+        if self.queue not in QUEUE_KINDS:
+            raise ValueError(
+                f"unknown event queue kind {self.queue!r}; choose from {QUEUE_KINDS}"
+            )
 
     @property
     def reliability_distribution(self) -> ReliabilityDistribution:

@@ -32,7 +32,7 @@ class DcaSimulation:
 
     def __init__(self, config: DcaConfig, recorder: Optional[Recorder] = None) -> None:
         self.config = config
-        self.sim = Simulator(seed=config.seed, recorder=recorder)
+        self.sim = Simulator(seed=config.seed, recorder=recorder, queue=config.queue)
         self.pool = NodePool()
         self.churn = ChurnProcess(
             self.sim,

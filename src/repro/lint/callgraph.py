@@ -6,7 +6,11 @@ be resolved statically to a known function:
 
 * ``f(...)`` where ``f`` is a top-level function of the same module;
 * ``f(...)`` where ``f`` was bound by ``from repro.x import f`` and the
-  target module defines it at top level;
+  target module defines it at top level -- or merely *re-exports* it
+  (package facades like ``repro/dca/__init__``): the from-import chain
+  is chased to the defining module, so pool workers that call
+  facade-imported entry points (``run_dca``, ``run_columnar_dca``)
+  still pull the whole engine into worker-reachability;
 * ``mod.f(...)`` where ``mod`` is an imported repro module (or alias);
 * ``self.m(...)`` inside a class whose body defines method ``m``;
 * ``Cls(...)`` for a project class -- the edge goes to
@@ -177,6 +181,40 @@ def _callable_references(body: ast.AST) -> Iterator[ast.expr]:
             yield node
 
 
+def _chase_reexport(
+    target_module: str,
+    symbol: str,
+    scopes: Dict[str, ModuleScope],
+    *,
+    kind: str = "functions",
+) -> Optional[Tuple[str, str]]:
+    """Follow ``from X import name`` chains to the module that *defines*
+    ``symbol`` (as a function or, with ``kind="classes"``, a class).
+
+    Package facades (``repro/dca/__init__``) re-export their submodules'
+    entry points; without chasing the chain, a worker like
+    ``repro.parallel.shards:run_dca_shard`` calling the facade-imported
+    ``run_columnar_dca`` would dead-end at the ``__init__`` and the
+    whole engine would silently escape worker-reachability rules.
+    """
+    seen: Set[Tuple[str, str]] = set()
+    while (target_module, symbol) not in seen:
+        seen.add((target_module, symbol))
+        target_scope = scopes.get(target_module)
+        if target_scope is None:
+            return None
+        defined = (
+            target_scope.classes if kind == "classes" else target_scope.functions
+        )
+        if symbol in defined:
+            return target_module, symbol
+        imported = target_scope.from_imports.get(symbol)
+        if imported is None:
+            return None
+        target_module, symbol = imported
+    return None  # re-export cycle; give up conservatively
+
+
 def resolve_reference(
     expr: ast.expr,
     module: ProjectModule,
@@ -192,9 +230,9 @@ def resolve_reference(
             return f"{module.name}:{name}"
         if name in scope.from_imports:
             target_module, original = scope.from_imports[name]
-            target_scope = scopes.get(target_module)
-            if target_scope and original in target_scope.functions:
-                return f"{target_module}:{original}"
+            resolved = _chase_reexport(target_module, original, scopes)
+            if resolved is not None:
+                return f"{resolved[0]}:{resolved[1]}"
         return None
     if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
         base = expr.value.id
@@ -211,8 +249,9 @@ def resolve_reference(
             if candidate in graph.modules:
                 target_module = candidate
         if target_module and target_module in scopes:
-            if expr.attr in scopes[target_module].functions:
-                return f"{target_module}:{expr.attr}"
+            resolved = _chase_reexport(target_module, expr.attr, scopes)
+            if resolved is not None:
+                return f"{resolved[0]}:{resolved[1]}"
     return None
 
 
@@ -229,9 +268,7 @@ def resolve_class(
     imported = scope.from_imports.get(name)
     if imported is not None:
         source, original = imported
-        source_scope = scopes.get(source)
-        if source_scope is not None and original in source_scope.classes:
-            return source, original
+        return _chase_reexport(source, original, scopes, kind="classes")
     return None
 
 

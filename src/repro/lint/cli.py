@@ -22,7 +22,10 @@ annotation upload).  A committed baseline file
 (``.reprolint-baseline.json``) can absorb known findings so rules adopt
 incrementally; see ``--baseline`` / ``--update-baseline``.
 
-Exit codes: 0 = clean, 1 = error-severity findings, 2 = usage error.
+Exit codes: 0 = clean, 1 = error-severity findings, 2 = usage error,
+3 = internal error (the linter itself crashed).  CI relies on the 1/3
+split: findings are tolerated where a job only renders them, but a
+crashed linter must never be mistaken for a clean-ish run.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -47,6 +51,12 @@ from repro.lint.flow_rules import registered_flow_rules
 from repro.lint.project import ProjectReport, lint_project
 from repro.lint.project_rules import registered_project_rules
 from repro.lint.sarif import render_sarif
+
+#: Exit codes (see module docstring); CI scripts match on these.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
 
 #: Bump on any incompatible change to the ``--output json`` payload.
 JSON_SCHEMA_VERSION = 2
@@ -255,7 +265,18 @@ def _default_baseline(args: argparse.Namespace, config: LintConfig) -> Optional[
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except Exception:
+        traceback.print_exc()
+        print(
+            "repro-lint: internal error -- this is a linter bug, not a finding",
+            file=sys.stderr,
+        )
+        return EXIT_INTERNAL
 
+
+def _run(args: argparse.Namespace) -> int:
     file_registry = registered_rules()
     project_registry = registered_project_rules()
     flow_registry = registered_flow_rules()
@@ -269,23 +290,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             else:
                 scope = "file"
             print(f"{rule_id}  [{cls.severity.value}]  [{scope}]  {cls.summary}")
-        return 0
+        return EXIT_CLEAN
 
     if args.flows:
         args.project = True
 
     if args.select is not None and not _split_rules(args.select):
         print("repro-lint: --select got no rule ids", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.jobs < 1:
         print(f"repro-lint: --jobs must be positive, got {args.jobs}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     try:
         config = _resolve_config(args)
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     known_ids: Set[str] = set(file_registry)
     if args.project:
@@ -308,7 +329,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             + hint,
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
 
     selected = config.selected_rule_ids(sorted(known_ids))
     file_rule_ids = [rule_id for rule_id in selected if rule_id in file_registry]
@@ -319,7 +340,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     missing = [path for path in paths if not Path(path).exists()]
     if missing:
         print(f"repro-lint: path(s) not found: {', '.join(missing)}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if args.fix:
         from repro.lint.fixes import fix_paths
@@ -371,7 +392,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"repro-lint: wrote {count} finding(s) to {baseline_path}",
             file=sys.stderr,
         )
-        return 0
+        return EXIT_CLEAN
 
     findings = report.findings
     baselined = stale = 0
@@ -380,7 +401,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline = load_baseline(baseline_path)
         except (ValueError, json.JSONDecodeError) as exc:
             print(f"repro-lint: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         findings, baselined, stale = apply_baseline(findings, baseline)
 
     if args.format == "json":
@@ -412,7 +433,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
     has_errors = any(f.severity is Severity.ERROR for f in findings)
-    return 1 if has_errors else 0
+    return EXIT_FINDINGS if has_errors else EXIT_CLEAN
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,8 +14,15 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.rules import _GLOBAL_DRAWS
 
-#: Attribute calls that draw from (or hand out) an RNG stream.
-RNG_DRAW_ATTRS = frozenset(_GLOBAL_DRAWS) | {"stream", "spawn"}
+#: Attribute calls that draw from (or hand out) an RNG stream.  Includes
+#: the numpy ``Generator`` draw methods the columnar engine uses
+#: (``integers``, ``standard_normal``, ``permutation``), so flow rules
+#: treat vectorized draws exactly like scalar ones.
+RNG_DRAW_ATTRS = (
+    frozenset(_GLOBAL_DRAWS)
+    | {"stream", "spawn"}
+    | {"integers", "standard_normal", "permutation", "default_rng"}
+)
 
 #: Method names that mutate their receiver in place.
 MUTATOR_METHODS = frozenset(

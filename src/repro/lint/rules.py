@@ -51,6 +51,38 @@ _GLOBAL_DRAWS = frozenset(
     }
 )
 
+#: Module-level draw functions of ``numpy.random`` (the legacy global
+#: RandomState).  Same hazard as the global ``random`` module: one stray
+#: draw perturbs every later draw in the shared stream.  The columnar
+#: engine's seeded per-stream ``default_rng(seed)`` generators are the
+#: sanctioned alternative.
+_NUMPY_GLOBAL_DRAWS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "beta",
+        "binomial",
+        "exponential",
+        "gamma",
+        "poisson",
+        "get_state",
+        "set_state",
+    }
+)
+
 _WALL_CLOCK_TIME = frozenset(
     {
         "time",
@@ -135,6 +167,78 @@ class NoGlobalRandomRule(Rule):
                     node,
                     "random.SystemRandom is a nondeterministic entropy source; "
                     "seed an RngRegistry instead",
+                )
+        yield from self._check_numpy(module)
+
+    def _check_numpy(self, module: ModuleContext) -> Iterator[Finding]:
+        """The same invariant for numpy: no legacy global-RandomState
+        draws (``np.random.rand`` etc.), no unseeded ``default_rng()``
+        -- columnar/array code must seed its generators from registry
+        spawn seeds, exactly like :mod:`repro.dca.columnar` does."""
+        tree = module.tree
+        numpy_aliases = set()  # names bound to the numpy package itself
+        random_aliases = set()  # names bound to the numpy.random module
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            random_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+        for name, (original, node) in _from_imports(tree, "numpy").items():
+            if original == "random":
+                random_aliases.add(name)
+        default_rng_aliases = set()  # names bound to numpy.random.default_rng
+        for name, (original, node) in _from_imports(tree, "numpy.random").items():
+            if original in _NUMPY_GLOBAL_DRAWS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"importing numpy.random.{original} binds the legacy global "
+                    "RandomState stream; use a seeded np.random.default_rng(seed) "
+                    "generator instead",
+                )
+            elif original == "default_rng":
+                default_rng_aliases.add(name)
+
+        def is_numpy_random(expr: ast.expr) -> bool:
+            if isinstance(expr, ast.Name):
+                return expr.id in random_aliases
+            return (
+                isinstance(expr, ast.Attribute)
+                and expr.attr == "random"
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id in numpy_aliases
+            )
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and is_numpy_random(node.value):
+                if node.attr in _NUMPY_GLOBAL_DRAWS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{node.attr} draws from numpy's legacy global "
+                        "RandomState; use a seeded np.random.default_rng(seed) "
+                        "generator instead",
+                    )
+            if not (isinstance(node, ast.Call) and not node.args and not node.keywords):
+                continue
+            func = node.func
+            unseeded = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "default_rng"
+                and is_numpy_random(func.value)
+            ) or (isinstance(func, ast.Name) and func.id in default_rng_aliases)
+            if unseeded:
+                yield self.finding(
+                    module,
+                    node,
+                    "default_rng() without a seed pulls OS entropy and is "
+                    "nondeterministic; pass a registry-derived seed "
+                    "(e.g. registry.spawn(name).seed)",
                 )
 
 

@@ -16,7 +16,10 @@ pool and still produce results byte-identical to a serial run:
   into means/standard errors in *spec order*, so aggregates never depend
   on completion order;
 * :mod:`repro.parallel.dca` and :mod:`repro.parallel.volunteer` are the
-  substrate-specific workers used by :mod:`repro.experiments`.
+  substrate-specific workers used by :mod:`repro.experiments`;
+* :mod:`repro.parallel.shards` splits *one* large computation into
+  task-server shards with a deterministic cross-shard merge (see
+  ``docs/scaling.md``).
 
 See ``docs/parallelism.md`` for the full design.
 """
@@ -44,7 +47,14 @@ from repro.parallel.reducer import (
     ordered,
     stderr,
 )
-from repro.parallel.seeds import replicate_seeds
+from repro.parallel.seeds import replicate_seeds, shard_seeds
+from repro.parallel.shards import (
+    ShardSpec,
+    merge_shard_reports,
+    run_dca_shard,
+    run_dca_shards,
+    shard_specs,
+)
 from repro.parallel.volunteer import (
     VolunteerProblemSpec,
     run_volunteer_problem,
@@ -56,6 +66,7 @@ __all__ = [
     "MetricAggregate",
     "ReplicateEnvelope",
     "ReplicateError",
+    "ShardSpec",
     "VolunteerProblemSpec",
     "WorkerCrash",
     "aggregate_metrics",
@@ -64,14 +75,19 @@ __all__ = [
     "default_chunk_size",
     "fingerprint_of",
     "mean",
+    "merge_shard_reports",
     "merge_telemetry",
     "ordered",
     "parallel_map",
     "replicate_seeds",
     "resolve_jobs",
+    "run_dca_shard",
+    "run_dca_shards",
     "run_dca_replicate",
     "run_dca_replicates",
     "run_volunteer_problem",
     "run_volunteer_problems",
+    "shard_seeds",
+    "shard_specs",
     "stderr",
 ]

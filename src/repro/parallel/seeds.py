@@ -22,6 +22,10 @@ from repro.sim.rng import RngRegistry
 #: The spawn-key prefix; kept in one place so the stream set stays greppable.
 REPLICATE_STREAM_PREFIX = "replicate:"
 
+#: Spawn-key prefix for task-server shards (same derivation, disjoint
+#: namespace: shard ``i`` of a run never collides with replicate ``i``).
+SHARD_STREAM_PREFIX = "shard:"
+
 
 def replicate_seeds(base_seed: int, count: int) -> Tuple[int, ...]:
     """Derive ``count`` decorrelated replicate seeds from ``base_seed``.
@@ -35,3 +39,18 @@ def replicate_seeds(base_seed: int, count: int) -> Tuple[int, ...]:
     return tuple(
         registry.spawn(f"replicate:{index}").seed for index in range(count)
     )
+
+
+def shard_seeds(base_seed: int, count: int) -> Tuple[int, ...]:
+    """Derive ``count`` decorrelated shard seeds from ``base_seed``.
+
+    Same guarantees as :func:`replicate_seeds` (deterministic,
+    decorrelated, order-free), under the ``shard:`` spawn namespace.
+
+    Raises:
+        ValueError: if ``count`` is not positive.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one shard, got {count}")
+    registry = RngRegistry(base_seed)
+    return tuple(registry.spawn(f"shard:{index}").seed for index in range(count))

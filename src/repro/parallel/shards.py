@@ -1,0 +1,283 @@
+"""Sharded DCA task server: one computation split across worker shards.
+
+The DES and the columnar engine both run a whole computation in one
+process.  To push toward million-node pools, this module splits *one*
+computation -- its task list and its node pool -- into ``S`` shards and
+runs each shard as an independent task server on a
+:func:`~repro.parallel.engine.parallel_map` worker.
+
+The split is exact, not an approximation, in the model's own terms:
+tasks are independent (the paper's DCA definition) and assumption 1
+assigns every job a uniformly random node, so partitioning the pool and
+giving each shard its tasks' waves changes nothing about any task's vote
+distribution.  Each shard draws from its own spawn-derived seed family
+(``shard:<i>``, :func:`~repro.parallel.seeds.shard_seeds`), so shard
+results depend only on ``(base seed, shard index)`` -- never on which
+worker ran the shard or in what order shards finished.
+
+The cross-shard merge reuses the envelope machinery: every shard ships a
+:class:`~repro.parallel.envelope.ReplicateEnvelope`, the reduction walks
+them in **position order** (:func:`merge_shard_reports`), and
+:func:`~repro.parallel.reducer.combined_fingerprint` gives the whole
+computation one checksum.  ``jobs=N`` is therefore byte-identical to
+``jobs=1`` for the same shard count -- the property the ``scale`` bench
+suite gates in CI.
+
+Each shard runs the columnar engine by default (``engine="columnar"``)
+and falls back to the object DES with ``engine="des"`` for
+configurations the columnar regime rejects.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.distributions import ReliabilityDistribution
+from repro.core.strategy import RedundancyStrategy
+from repro.dca import DcaConfig, run_columnar_dca, run_dca
+from repro.obs.context import current_sink
+from repro.obs.recorder import TelemetryRecorder
+from repro.parallel.engine import ReplicateError, parallel_map
+from repro.parallel.envelope import ReplicateEnvelope, fingerprint_of
+from repro.parallel.reducer import combined_fingerprint, merge_telemetry, ordered
+from repro.parallel.seeds import shard_seeds
+
+#: Shard engines: columnar for scale, the object DES for full generality.
+SHARD_ENGINES = ("columnar", "des")
+
+#: Per-worker telemetry caps, as in :mod:`repro.parallel.dca`.
+_WORKER_SPAN_CAP = 10_000
+_WORKER_EVENT_CAP = 10_000
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a larger computation, in picklable form.
+
+    ``tasks`` and ``nodes`` are this *shard's* share of the computation,
+    already split by :func:`shard_specs`; ``seed`` is the shard's
+    spawn-derived root seed.  ``overrides`` carries extra
+    :class:`~repro.dca.DcaConfig` fields as a sorted tuple of pairs.
+    """
+
+    seed: int
+    strategy: RedundancyStrategy
+    tasks: int
+    nodes: int
+    reliability: Union[float, ReliabilityDistribution]
+    engine: str = "columnar"
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in SHARD_ENGINES:
+            raise ValueError(
+                f"unknown shard engine {self.engine!r}; choose from {SHARD_ENGINES}"
+            )
+
+
+@dataclass(frozen=True)
+class _RawShard:
+    """What the worker ships back (position is attached by the parent)."""
+
+    seed: int
+    metrics: dict
+    fingerprint: str
+    duration: float
+    worker_pid: int
+    telemetry: Optional[dict] = None
+
+
+def _split(total: int, shards: int) -> List[int]:
+    """Split ``total`` into ``shards`` near-equal positive parts.
+
+    Deterministic and position-stable: shard ``i`` always receives
+    ``total // shards`` plus one extra when ``i < total % shards``.
+    """
+    base, extra = divmod(total, shards)
+    return [base + (1 if index < extra else 0) for index in range(shards)]
+
+
+def shard_specs(
+    strategy_factory: Callable[[], RedundancyStrategy],
+    *,
+    tasks: int,
+    nodes: int,
+    reliability: Union[float, ReliabilityDistribution],
+    shards: int,
+    seed: int,
+    engine: str = "columnar",
+    telemetry: bool = False,
+    **config_overrides: Any,
+) -> List[ShardSpec]:
+    """Split one computation into per-shard specs with spawn-derived seeds.
+
+    Raises:
+        ValueError: if ``shards`` exceeds ``tasks`` or ``nodes`` (every
+            shard must hold at least one task and one node).
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if shards > tasks:
+        raise ValueError(f"cannot split {tasks} tasks across {shards} shards")
+    if shards > nodes:
+        raise ValueError(f"cannot split {nodes} nodes across {shards} shards")
+    seeds = shard_seeds(seed, shards)
+    task_shares = _split(tasks, shards)
+    node_shares = _split(nodes, shards)
+    overrides = tuple(sorted(config_overrides.items()))
+    return [
+        ShardSpec(
+            seed=shard_seed,
+            strategy=strategy_factory(),
+            tasks=task_share,
+            nodes=node_share,
+            reliability=reliability,
+            engine=engine,
+            overrides=overrides,
+            telemetry=telemetry,
+        )
+        for shard_seed, task_share, node_share in zip(seeds, task_shares, node_shares)
+    ]
+
+
+def run_dca_shard(spec: ShardSpec) -> _RawShard:
+    """Execute one shard (the module-level, picklable worker).
+
+    The shard's metrics are its report's ``as_dict()`` plus the extensive
+    counters (``tasks_correct``, ``total_jobs``, ``jobs_timed_out``) the
+    cross-shard reduction needs to merge exactly rather than from
+    rounded means.
+    """
+    start = time.perf_counter()
+    recorder = None
+    if spec.telemetry:
+        recorder = TelemetryRecorder(
+            max_spans=_WORKER_SPAN_CAP, max_events=_WORKER_EVENT_CAP
+        )
+    config = DcaConfig(
+        strategy=copy.deepcopy(spec.strategy),
+        tasks=spec.tasks,
+        nodes=spec.nodes,
+        reliability=spec.reliability,
+        seed=spec.seed,
+        **dict(spec.overrides),
+    )
+    if spec.engine == "columnar":
+        report = run_columnar_dca(config, recorder=recorder)
+    else:
+        report = run_dca(config, recorder=recorder)
+    metrics = report.as_dict()
+    metrics["tasks_correct"] = report.tasks_correct
+    metrics["total_jobs"] = report.total_jobs
+    metrics["jobs_timed_out"] = report.jobs_timed_out
+    return _RawShard(
+        seed=spec.seed,
+        metrics=metrics,
+        fingerprint=fingerprint_of(metrics),
+        duration=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+        telemetry=recorder.as_payload() if recorder is not None else None,
+    )
+
+
+def run_dca_shards(
+    specs: Sequence[ShardSpec],
+    *,
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[ReplicateEnvelope]:
+    """Run the shards (serial or fanned out) and envelope the results.
+
+    The envelope list is in shard-position order whatever the worker
+    scheduling was; feed it to :func:`merge_shard_reports` for the
+    merged computation-level report.  As in
+    :func:`~repro.parallel.dca.run_dca_replicates`, an installed
+    :class:`~repro.obs.TelemetrySink` transparently upgrades the specs
+    to record telemetry, without perturbing metrics or fingerprints.
+
+    Raises:
+        ReplicateError: naming the failed shard's position and seed when
+            any shard crashes.
+    """
+    specs = list(specs)
+    sink = current_sink()
+    if sink is not None and specs and not any(spec.telemetry for spec in specs):
+        specs = [replace(spec, telemetry=True) for spec in specs]
+    try:
+        raws = parallel_map(run_dca_shard, specs, jobs=jobs, chunk_size=chunk_size)
+    except ReplicateError as exc:
+        if 0 <= exc.position < len(specs):
+            failed = specs[exc.position]
+            raise ReplicateError(
+                f"shard #{exc.position} (seed {failed.seed}, "
+                f"strategy {failed.strategy.describe()}) failed: "
+                f"{exc.error_type}: {exc}",
+                position=exc.position,
+                error_type=exc.error_type,
+                traceback_text=exc.traceback_text,
+            ) from exc
+        raise
+    envelopes = [
+        ReplicateEnvelope(
+            position=position,
+            seed=raw.seed,
+            metrics=raw.metrics,
+            fingerprint=raw.fingerprint,
+            duration=raw.duration,
+            worker_pid=raw.worker_pid,
+            telemetry=raw.telemetry,
+        )
+        for position, raw in enumerate(raws)
+    ]
+    if sink is not None and envelopes:
+        label = f"{specs[0].strategy.describe()} sharded x{len(specs)}"
+        sink.add_run(label, merge_telemetry(envelopes))
+    return envelopes
+
+
+def merge_shard_reports(envelopes: Sequence[ReplicateEnvelope]) -> Dict[str, Any]:
+    """Reduce shard envelopes into one computation-level report dict.
+
+    Position-ordered and purely arithmetic, so the merged report is
+    identical whatever order the shards completed in:
+
+    * extensive counters (tasks, correct tasks, jobs, timeouts) sum;
+    * per-task means re-weight by each shard's task count;
+    * maxima (max jobs, max response time, makespan) take the max --
+      shards run concurrently, so the computation finishes when the
+      slowest shard does;
+    * ``checksum`` is :func:`~repro.parallel.reducer.combined_fingerprint`
+      over the shard fingerprints, the identity the bench suite gates.
+    """
+    if not envelopes:
+        raise ValueError("cannot merge zero shard envelopes")
+    by_position = ordered(envelopes)
+    metrics = [envelope.metrics for envelope in by_position]
+    tasks = sum(shard["tasks"] for shard in metrics)
+    correct = sum(shard["tasks_correct"] for shard in metrics)
+    total_jobs = sum(shard["total_jobs"] for shard in metrics)
+
+    def weighted(key: str) -> float:
+        return sum(shard[key] * shard["tasks"] for shard in metrics) / tasks
+
+    return {
+        "strategy": metrics[0]["strategy"],
+        "shards": len(by_position),
+        "tasks": tasks,
+        "tasks_correct": correct,
+        "reliability": correct / tasks,
+        "total_jobs": total_jobs,
+        "cost_factor": total_jobs / tasks,
+        "max_jobs": max(shard["max_jobs"] for shard in metrics),
+        "mean_response_time": weighted("mean_response_time"),
+        "max_response_time": max(shard["max_response_time"] for shard in metrics),
+        "mean_waves": weighted("mean_waves"),
+        "makespan": max(shard["makespan"] for shard in metrics),
+        "jobs_timed_out": sum(shard["jobs_timed_out"] for shard in metrics),
+        "checksum": combined_fingerprint(by_position),
+    }

@@ -15,7 +15,7 @@ from typing import Any, Callable, Optional
 
 from repro.obs.names import SIM_COMPACTIONS, SIM_EVENTS, SIM_HEAP_SIZE
 from repro.obs.recorder import Recorder, active
-from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
+from repro.sim.events import DEFAULT_PRIORITY, Event, make_queue
 from repro.sim.rng import RngRegistry
 
 
@@ -48,16 +48,23 @@ class Simulator:
             itself stays untouched when telemetry is off; the engine
             records run-level aggregates (events processed, heap size,
             compactions) after each :meth:`run`.
+        queue_kind: Which event structure backs the queue -- ``"heap"``
+            (default) or ``"calendar"``; see
+            :func:`repro.sim.events.make_queue`.  Both produce the exact
+            same pop order, so results never depend on the choice.
     """
 
     def __init__(
         self,
         seed: Optional[int] = None,
         recorder: Optional[Recorder] = None,
+        *,
+        queue: str = "heap",
     ) -> None:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
-        self._queue = EventQueue()
+        self.queue_kind = queue
+        self._queue = make_queue(queue)
         self._running = False
         self._events_processed = 0
         self.recorder = active(recorder)
@@ -196,7 +203,10 @@ class Simulator:
             recorder.gauge(SIM_HEAP_SIZE, queue.heap_size)
 
     def reset(self, seed: Optional[int] = None) -> None:
-        """Clear the queue and clock for reuse, reseeding the RNG registry."""
+        """Clear the queue and clock for reuse, reseeding the RNG registry.
+
+        The queue kind chosen at construction is preserved.
+        """
         self._queue.clear()
         self.now = 0.0
         self._events_processed = 0

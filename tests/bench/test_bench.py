@@ -61,6 +61,23 @@ class TestSuites:
         with pytest.raises(KeyError):
             run_suite("warp_drive")
 
+    def test_scale_sharded_equals_unsharded_and_is_stable(self):
+        payload = run_suite("scale", seed=1, quick=True, repeats=1)
+        assert payload["diverged"] is False
+        assert payload["serial_checksum"] == payload["parallel_checksum"]
+        assert payload["checksum"] == payload["serial_checksum"]
+        merged = payload["results"]["merged"]
+        assert merged["tasks"] == payload["params"]["tasks"]
+        assert merged["shards"] == payload["params"]["shards"]
+        assert 0 < merged["reliability"] <= 1
+        assert payload["results"]["tasks_per_second"] > 0
+        # Quick runs gate on checksum identity only: sub-50ms timings are
+        # noise, so they ride along ungated instead of in "timings".
+        assert payload["timings"] == {}
+        assert payload["results"]["timings_ungated"]
+        again = run_suite("scale", seed=1, quick=True, repeats=1)
+        assert payload["checksum"] == again["checksum"]
+
     def test_obs_overhead_gates_a_ratio_and_agrees_across_variants(self):
         payload = run_suite("obs_overhead", seed=1, quick=True, repeats=1)
         ratio = payload["timings"]["null_recorder_ratio"]["best_seconds"]
@@ -87,7 +104,7 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         for name in ("decide_loops", "sim_engine"):
-            assert (tmp_path / f"BENCH_{name}.json").exists()
+            assert (tmp_path / f"BENCH_{name}.quick.json").exists()
             assert name in out
 
     def test_figure_sweep_serial_parallel_agree(self, tmp_path):
@@ -95,7 +112,9 @@ class TestCli:
             ["figure_sweep", "--quick", "--jobs", "2", "--output-dir", str(tmp_path)]
         )
         assert code == 0
-        document = json.loads((tmp_path / "BENCH_figure_sweep.json").read_text())
+        document = json.loads(
+            (tmp_path / "BENCH_figure_sweep.quick.json").read_text()
+        )
         assert document["diverged"] is False
         assert document["serial_checksum"] == document["parallel_checksum"]
         assert document["results"]["speedup"] > 0

@@ -98,6 +98,24 @@ class TestCompareToBaseline:
         assert comparison is not None
         assert comparison["verdict"] == "ok"
 
+    def test_quick_and_full_baselines_live_side_by_side(self, tmp_path):
+        # Quick payloads route to BENCH_<name>.quick.json and full ones
+        # to BENCH_<name>.json, so one baseline dir serves both the
+        # per-PR quick gate and the nightly full gate without ever
+        # comparing across sizes.
+        quick_path = write_report("unit", _payload(quick=True), output_dir=tmp_path)
+        full_path = write_report("unit", _payload(quick=False), output_dir=tmp_path)
+        assert quick_path.name == "BENCH_unit.quick.json"
+        assert full_path.name == "BENCH_unit.json"
+        quick = compare_to_baseline("unit", _payload(quick=True), tmp_path)
+        full = compare_to_baseline("unit", _payload(quick=False), tmp_path)
+        assert quick is not None and quick["verdict"] == "ok"
+        assert full is not None and full["verdict"] == "ok"
+
+    def test_quick_current_skips_full_only_baseline(self, tmp_path):
+        write_report("unit", _payload(quick=False), output_dir=tmp_path)
+        assert compare_to_baseline("unit", _payload(quick=True), tmp_path) is None
+
 
 class TestCliGate:
     """End-to-end: the CLI exit codes CI relies on."""

@@ -1,0 +1,185 @@
+# reprolint: disable-file=RL003 -- determinism tests assert byte-exact equality on purpose
+"""Tests for the columnar batch engine (:mod:`repro.dca.columnar`).
+
+The engine trades the object DES for struct-of-arrays wave batching, so
+it cannot be byte-identical to :func:`run_dca` -- but it must be (a)
+deterministic given the seed, (b) statistically indistinguishable from
+the DES on the paper's measures, (c) honest about the regime it
+supports, and (d) faithful to the strategies' decide() semantics (the
+vectorized deciders are cross-checked against the per-task
+``VoteState`` fallback).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import (
+    ComplexIterativeRedundancy,
+    CredibilityManager,
+    CredibilityStrategy,
+    IterativeRedundancy,
+    ProgressiveRedundancy,
+    TraditionalRedundancy,
+)
+from repro.core.distributions import BetaReliability
+from repro.dca import (
+    ByzantineCollusion,
+    ColumnarUnsupported,
+    DcaConfig,
+    NonColludingFailures,
+    run_columnar_dca,
+    run_dca,
+)
+from repro.dca.columnar import _DECIDERS, _decide_fallback
+from repro.obs import TelemetryRecorder
+
+
+def _config(strategy, **overrides):
+    params = dict(tasks=2_000, nodes=300, reliability=0.7, seed=17)
+    params.update(overrides)
+    return DcaConfig(strategy=strategy, **params)
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        first = run_columnar_dca(_config(IterativeRedundancy(3)))
+        second = run_columnar_dca(_config(IterativeRedundancy(3)))
+        assert first == second
+        assert first.as_dict() == second.as_dict()
+
+    def test_different_seeds_differ(self):
+        first = run_columnar_dca(_config(IterativeRedundancy(3), seed=1))
+        second = run_columnar_dca(_config(IterativeRedundancy(3), seed=2))
+        assert first.as_dict() != second.as_dict()
+
+    def test_heterogeneous_pool_is_deterministic(self):
+        config = _config(
+            IterativeRedundancy(3),
+            reliability=BetaReliability.with_mean(0.7),
+            speed_spread=0.5,
+        )
+        assert run_columnar_dca(config) == run_columnar_dca(config)
+
+
+class TestCrossValidation:
+    """The engine must agree with the DES on the paper's measures.
+
+    Tolerances are a few standard errors at these sizes; both runs are
+    seeded, so the assertion is deterministic (no flakes) -- it would
+    only move if either engine's semantics changed.
+    """
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            lambda: IterativeRedundancy(3),
+            lambda: ProgressiveRedundancy(7),
+            lambda: TraditionalRedundancy(7),
+            lambda: ComplexIterativeRedundancy(0.7, 0.95),
+        ],
+    )
+    def test_matches_des_statistically(self, strategy_factory):
+        columnar = run_columnar_dca(_config(strategy_factory(), tasks=4_000))
+        des = run_dca(_config(strategy_factory(), tasks=4_000))
+        assert columnar.system_reliability == pytest.approx(
+            des.system_reliability, abs=0.02
+        )
+        assert columnar.cost_factor == pytest.approx(des.cost_factor, rel=0.05)
+        assert columnar.as_dict()["mean_waves"] == pytest.approx(
+            des.as_dict()["mean_waves"], rel=0.05
+        )
+
+    def test_report_dict_keys_match_des(self):
+        columnar = run_columnar_dca(_config(IterativeRedundancy(3)))
+        des = run_dca(_config(IterativeRedundancy(3)))
+        assert set(columnar.as_dict()) == set(des.as_dict())
+
+
+class TestDeciderEquivalence:
+    """Vectorized deciders == per-task VoteState/decide() fallback."""
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            lambda: IterativeRedundancy(3),
+            lambda: ProgressiveRedundancy(7),
+            lambda: TraditionalRedundancy(7),
+            lambda: ComplexIterativeRedundancy(0.7, 0.95),
+        ],
+    )
+    def test_vectorized_matches_fallback(self, strategy_factory):
+        strategy = strategy_factory()
+        decider = _DECIDERS[type(strategy)]
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 9, size=500)
+        b = rng.integers(0, 9, size=500)
+        fast_accept, fast_value, fast_more = decider(strategy, a, b)
+        slow_accept, slow_value, slow_more = _decide_fallback(strategy, a, b)
+        # The engine consumes value only where accepted and more only
+        # where not; outside those masks the columns are don't-cares.
+        assert np.array_equal(np.asarray(fast_accept), slow_accept)
+        accept = slow_accept
+        assert np.array_equal(np.asarray(fast_value)[accept], slow_value[accept])
+        assert np.array_equal(
+            np.asarray(fast_more)[~accept], slow_more[~accept]
+        )
+
+
+class TestSupportedRegime:
+    def test_rejects_churn(self):
+        with pytest.raises(ColumnarUnsupported, match="churn"):
+            run_columnar_dca(_config(IterativeRedundancy(3), arrival_rate=0.5))
+
+    def test_rejects_spot_checks(self):
+        with pytest.raises(ColumnarUnsupported, match="spot-check"):
+            run_columnar_dca(_config(IterativeRedundancy(3), spot_check_rate=0.1))
+
+    def test_rejects_max_time(self):
+        with pytest.raises(ColumnarUnsupported, match="max_time"):
+            run_columnar_dca(_config(IterativeRedundancy(3), max_time=100.0))
+
+    def test_rejects_non_colluding_failures(self):
+        with pytest.raises(ColumnarUnsupported, match="colluding"):
+            run_columnar_dca(
+                _config(
+                    IterativeRedundancy(3),
+                    failure_model=NonColludingFailures(value_space=8),
+                )
+            )
+
+    def test_rejects_node_aware_strategies(self):
+        with pytest.raises(ColumnarUnsupported, match="node-aware"):
+            run_columnar_dca(_config(CredibilityStrategy(CredibilityManager())))
+
+    def test_accepts_byzantine_collusion(self):
+        report = run_columnar_dca(
+            _config(
+                IterativeRedundancy(3),
+                failure_model=ByzantineCollusion(),
+                unresponsive_prob=0.1,
+                timeout=1.2,
+            )
+        )
+        assert report.tasks_submitted == 2_000
+        assert report.jobs_timed_out > 0
+
+
+class TestReportAndTelemetry:
+    def test_summary_mentions_strategy(self):
+        report = run_columnar_dca(_config(IterativeRedundancy(3)))
+        assert "iterative" in report.summary()
+
+    def test_recorder_receives_aggregates(self):
+        recorder = TelemetryRecorder()
+        report = run_columnar_dca(_config(IterativeRedundancy(3)), recorder=recorder)
+        payload = recorder.as_payload()
+        assert payload["metrics"]
+        assert report.total_jobs > report.tasks_submitted
+
+    def test_recorder_does_not_perturb_results(self):
+        bare = run_columnar_dca(_config(IterativeRedundancy(3)))
+        recorded = run_columnar_dca(
+            _config(IterativeRedundancy(3)), recorder=TelemetryRecorder()
+        )
+        assert bare == recorded

@@ -61,6 +61,23 @@ class TestExitCodes:
         assert main(["--select", "RL999", str(path)]) == 2
         assert "unknown rule" in capsys.readouterr().err
 
+    def test_internal_error_exits_three_with_traceback(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # A crashing linter must be distinguishable from findings (1)
+        # and usage errors (2): CI treats >1 as "the linter is broken".
+        import repro.lint.cli as cli
+
+        def explode(args):
+            raise RuntimeError("injected linter bug")
+
+        monkeypatch.setattr(cli, "_run", explode)
+        path = write(tmp_path, "clean.py", CLEAN)
+        assert main([str(path)]) == 3
+        err = capsys.readouterr().err
+        assert "injected linter bug" in err
+        assert "linter bug, not a finding" in err
+
 
 class TestOutputFormats:
     def test_json_schema(self, tmp_path, capsys):

@@ -1,0 +1,142 @@
+# reprolint: disable-file=RL003 -- the point of this suite is byte-exact serial/parallel equality
+"""Sharded task server determinism: ``jobs=4`` must be byte-identical to
+``jobs=1`` for the same shard count (both engines), the split must be
+exact, and the position-ordered merge must be pure arithmetic over the
+shard envelopes."""
+
+import pytest
+
+from repro.core import IterativeRedundancy, ProgressiveRedundancy
+from repro.parallel import (
+    combined_fingerprint,
+    merge_shard_reports,
+    replicate_seeds,
+    run_dca_shards,
+    shard_seeds,
+    shard_specs,
+)
+from repro.parallel.shards import _split
+
+SMALL = dict(tasks=240, nodes=48, reliability=0.7, shards=4, seed=21)
+
+
+def _specs(engine="columnar", **overrides):
+    params = dict(SMALL, **overrides)
+    return shard_specs(lambda: IterativeRedundancy(3), engine=engine, **params)
+
+
+class TestShardSeeds:
+    def test_deterministic(self):
+        assert shard_seeds(5, 8) == shard_seeds(5, 8)
+
+    def test_prefix_stable(self):
+        # Seed i depends only on (base, i): a longer schedule extends the
+        # shorter one, so changing the shard count never reshuffles work.
+        assert shard_seeds(5, 8)[:4] == shard_seeds(5, 4)
+
+    def test_disjoint_from_replicate_namespace(self):
+        shards = set(shard_seeds(5, 16))
+        replicates = set(replicate_seeds(5, 16))
+        assert not shards & replicates
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError, match="at least one"):
+            shard_seeds(5, 0)
+
+
+class TestShardSplit:
+    def test_split_is_exact_and_position_stable(self):
+        for total in (7, 100, 101, 1_000_003):
+            for shards in (1, 3, 8):
+                parts = _split(total, shards)
+                assert sum(parts) == total
+                assert len(parts) == shards
+                # Extra units go to the lowest positions.
+                assert parts == sorted(parts, reverse=True)
+
+    def test_spec_shares_cover_the_computation(self):
+        specs = _specs()
+        assert sum(spec.tasks for spec in specs) == SMALL["tasks"]
+        assert sum(spec.nodes for spec in specs) == SMALL["nodes"]
+        assert [spec.seed for spec in specs] == list(
+            shard_seeds(SMALL["seed"], SMALL["shards"])
+        )
+
+    def test_rejects_more_shards_than_tasks(self):
+        with pytest.raises(ValueError, match="tasks"):
+            shard_specs(
+                lambda: IterativeRedundancy(3),
+                tasks=3,
+                nodes=100,
+                reliability=0.7,
+                shards=4,
+                seed=1,
+            )
+
+    def test_rejects_more_shards_than_nodes(self):
+        with pytest.raises(ValueError, match="nodes"):
+            shard_specs(
+                lambda: IterativeRedundancy(3),
+                tasks=100,
+                nodes=3,
+                reliability=0.7,
+                shards=4,
+                seed=1,
+            )
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            _specs(engine="quantum")
+
+
+class TestJobsEquivalence:
+    @pytest.mark.parametrize("engine", ["columnar", "des"])
+    def test_fanned_equals_serial(self, engine):
+        serial = run_dca_shards(_specs(engine=engine), jobs=1)
+        fanned = run_dca_shards(_specs(engine=engine), jobs=4)
+        assert [e.seed for e in serial] == [e.seed for e in fanned]
+        assert [e.metrics for e in serial] == [e.metrics for e in fanned]
+        assert combined_fingerprint(serial) == combined_fingerprint(fanned)
+        assert merge_shard_reports(serial) == merge_shard_reports(fanned)
+
+    def test_merge_is_order_free(self):
+        envelopes = run_dca_shards(_specs(), jobs=1)
+        shuffled = list(reversed(envelopes))
+        assert merge_shard_reports(shuffled) == merge_shard_reports(envelopes)
+
+
+class TestMergeArithmetic:
+    def test_extensive_counters_sum_exactly(self):
+        envelopes = run_dca_shards(_specs(), jobs=1)
+        merged = merge_shard_reports(envelopes)
+        metrics = [e.metrics for e in envelopes]
+        assert merged["tasks"] == sum(m["tasks"] for m in metrics)
+        assert merged["tasks_correct"] == sum(m["tasks_correct"] for m in metrics)
+        assert merged["total_jobs"] == sum(m["total_jobs"] for m in metrics)
+        assert merged["reliability"] == merged["tasks_correct"] / merged["tasks"]
+        assert merged["cost_factor"] == merged["total_jobs"] / merged["tasks"]
+        assert merged["makespan"] == max(m["makespan"] for m in metrics)
+        assert merged["shards"] == len(envelopes)
+        assert merged["checksum"] == combined_fingerprint(envelopes)
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero"):
+            merge_shard_reports([])
+
+    def test_single_shard_merge_matches_shard(self):
+        envelopes = run_dca_shards(
+            shard_specs(
+                lambda: ProgressiveRedundancy(5),
+                tasks=200,
+                nodes=40,
+                reliability=0.7,
+                shards=1,
+                seed=8,
+            ),
+            jobs=1,
+        )
+        merged = merge_shard_reports(envelopes)
+        shard = envelopes[0].metrics
+        assert merged["reliability"] == shard["reliability"]
+        assert merged["cost_factor"] == pytest.approx(shard["cost_factor"])
+        assert merged["mean_waves"] == pytest.approx(shard["mean_waves"])
