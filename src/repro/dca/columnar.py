@@ -393,10 +393,10 @@ def run_columnar_dca(
         tasks_completed=tasks,
         tasks_correct=int(accepted_true.sum()),
         total_jobs=int(jobs_used.sum()),
-        max_jobs_per_task=int(jobs_used.max()),
-        mean_response_time=float(clock.mean()),
-        max_response_time=float(clock.max()),
-        mean_waves=float(waves.mean()),
+        max_jobs_per_task=int(jobs_used.max()) if tasks else 0,
+        mean_response_time=float(clock.mean()) if tasks else 0.0,
+        max_response_time=float(clock.max()) if tasks else 0.0,
+        mean_waves=float(waves.mean()) if tasks else 0.0,
         makespan=makespan,
         jobs_timed_out=timed_out,
         seed=config.seed,

@@ -20,6 +20,12 @@ Two complementary halves:
   stream provenance and iteration orderedness, propagates the tags
   interprocedurally through the call graph, and enforces the
   replicate-isolation invariants (RL201-RL205);
+* a tensor abstract interpretation (``repro-lint --tensors``;
+  :mod:`repro.lint.arrays`, :mod:`repro.lint.tensor_absint`,
+  :mod:`repro.lint.tensor_rules`) that tags every value with symbolic
+  shape, dtype, aliasing regions and orderedness, and enforces the
+  columnar tier's shape/dtype/aliasing/determinism invariants
+  (RL301-RL305);
 * a runtime sanitizer (:mod:`repro.lint.sanitizer`) that replays a
   simulation from the same seed and pinpoints the first diverging trace
   event when the static rules missed something -- with runners for the
@@ -30,6 +36,7 @@ Run the linter with ``python -m repro.lint [paths]`` or the
 """
 
 from repro.lint.absint import FlowAnalysis
+from repro.lint.arrays import ArrayValue, Dim, DType, tensor_tables_digest
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.cache import LintCache, ruleset_signature
 from repro.lint.config import LintConfig, load_config
@@ -70,13 +77,22 @@ from repro.lint.sanitizer import (
     trace_fingerprint,
 )
 from repro.lint.sarif import render_sarif, sarif_log
+from repro.lint.tensor_absint import TensorAnalysis
+from repro.lint.tensor_rules import (
+    TensorRule,
+    register_tensor,
+    registered_tensor_rules,
+)
 
 __all__ = [
     "ALLOWED_IMPORTS",
     "BOTTOM",
     "AbstractValue",
+    "ArrayValue",
+    "DType",
     "DeterminismError",
     "DeterminismSanitizer",
+    "Dim",
     "Divergence",
     "Finding",
     "FlowAnalysis",
@@ -97,6 +113,8 @@ __all__ = [
     "Severity",
     "TOP",
     "TOP_UNSEEDED",
+    "TensorAnalysis",
+    "TensorRule",
     "apply_baseline",
     "dca_runner",
     "diff_captures",
@@ -111,15 +129,18 @@ __all__ = [
     "register",
     "register_flow",
     "register_project",
+    "register_tensor",
     "registered_flow_rules",
     "registered_project_rules",
     "registered_rules",
+    "registered_tensor_rules",
     "render_sarif",
     "ruleset_signature",
     "sanitize_dca",
     "sanitize_grid",
     "sanitize_mapreduce",
     "sarif_log",
+    "tensor_tables_digest",
     "trace_fingerprint",
     "write_baseline",
 ]

@@ -1,0 +1,411 @@
+"""The array abstract domain used by the tensor analysis (``--tensors``).
+
+Scalar determinism has :mod:`repro.lint.provenance`; array code has its
+own failure modes -- silent dtype drift, broadcasting surprises, aliased
+in-place mutation, unstable sorts -- so every abstract value the
+interpreter in :mod:`repro.lint.tensor_absint` tracks is an
+:class:`ArrayValue` carrying four independent facts:
+
+* **shape** -- a tuple of :class:`Dim` (symbolic name like ``tasks`` /
+  ``jobs``, a literal size, or unknown), or ``None`` when the rank
+  itself is unknown.  Two dims are *provably incompatible* only when
+  both are known and definitely different (two unequal literals, or two
+  distinct symbolic names) and neither is the broadcasting size 1 --
+  the under-approximation contract of every reprolint tier: unknown
+  never fires a rule.
+
+* **dtype** -- the chain lattice ``bool < int < float`` refined by bit
+  width (``bool < int8 < ... < int64 < float32 < float64``) with an
+  unknown/widened ⊤ on top.  Join is "widest wins"; ⊤ is absorbing.
+  :func:`narrows` is the drift predicate RL302 is built on.
+
+* **regions** -- aliasing tags: every allocation site mints a fresh
+  region id; views (basic slices, ``reshape``, ``ravel``, ``.T``)
+  share their base's regions, copies (``.copy()``, fancy/boolean
+  indexing, arithmetic results, ``astype``) get fresh ones.  RL303
+  fires when a region reaches a fingerprint/envelope/telemetry sink and
+  is then mutated in place through a *different* alias.
+
+* **orderedness** -- reused verbatim from the RL104/RL204 machinery
+  (:class:`~repro.lint.provenance.Orderedness`): an array built from a
+  set or completion-ordered iterable keeps the UNORDERED tag, and RL304
+  flags order-sensitive array ops fed by it.
+
+The numpy intrinsic tables at the bottom (creators, sorts, reductions,
+draw methods) are part of the analysis semantics: editing them changes
+findings, so :func:`tensor_tables_digest` folds their *contents* into
+the incremental-cache ruleset signature -- a table edit busts warm
+caches while a comment-only edit of this file does not.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.lint.provenance import Orderedness
+
+
+# ---------------------------------------------------------------------------
+# Dimensions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One axis of a symbolic shape.
+
+    ``name`` is a symbolic length (the variable the size came from,
+    e.g. ``tasks``); ``size`` is a literal length.  Both ``None`` means
+    the axis length is unknown.  A dim never carries both: a literal
+    size is strictly more precise than a name.
+    """
+
+    name: Optional[str] = None
+    size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.name is not None and self.size is not None:
+            raise ValueError("a dim is symbolic or literal, not both")
+
+    @property
+    def known(self) -> bool:
+        return self.name is not None or self.size is not None
+
+    def join(self, other: "Dim") -> "Dim":
+        """Least upper bound: agreement survives, disagreement widens."""
+        return self if self == other else UNKNOWN_DIM
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        if self.size is not None:
+            return str(self.size)
+        if self.name is not None:
+            return self.name
+        return "?"
+
+
+#: The unknown axis length (⊤ of the per-axis lattice).
+UNKNOWN_DIM = Dim()
+#: The broadcasting axis.
+ONE_DIM = Dim(size=1)
+
+
+def dims_incompatible(left: Dim, right: Dim) -> bool:
+    """True only when ``left`` and ``right`` *provably* cannot broadcast.
+
+    Both must be known, definitely different (unequal literals, or two
+    distinct symbolic names), and neither may be the literal 1.  A
+    literal against a symbol is never provable (the symbol could hold
+    that very size), so it stays silent -- no invented findings.
+    """
+    if not left.known or not right.known:
+        return False
+    if left == ONE_DIM or right == ONE_DIM:
+        return False
+    if left.size is not None and right.size is not None:
+        return left.size != right.size
+    if left.name is not None and right.name is not None:
+        return left.name != right.name
+    return False  # literal vs symbol: not provable
+
+
+# ---------------------------------------------------------------------------
+# Dtypes
+# ---------------------------------------------------------------------------
+
+
+class DType(enum.IntEnum):
+    """The dtype chain lattice ``bool < int < float`` with a ⊤.
+
+    Join is ``max`` (widest wins), matching numpy's promotion direction
+    along the chain; ``TOP`` is the unknown/widened absorber -- a value
+    whose dtype the analysis lost track of never triggers RL302.
+    """
+
+    BOOL = 0
+    INT8 = 1
+    INT16 = 2
+    INT32 = 3
+    INT64 = 4
+    FLOAT32 = 5
+    FLOAT64 = 6
+    TOP = 7
+
+    def join(self, other: "DType") -> "DType":
+        return max(self, other)
+
+    def leq(self, other: "DType") -> bool:
+        return self <= other
+
+    @property
+    def known(self) -> bool:
+        return self is not DType.TOP
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.FLOAT32, DType.FLOAT64)
+
+    @property
+    def is_int(self) -> bool:
+        return DType.INT8 <= self <= DType.INT64
+
+    @property
+    def is_bool(self) -> bool:
+        return self is DType.BOOL
+
+
+def narrows(src: DType, dst: DType) -> bool:
+    """True when casting ``src`` to ``dst`` provably loses information:
+    float -> int/bool, float64 -> float32, int64 -> int32/16/8, and
+    int -> bool.  Unknown on either side never narrows (no invented
+    findings); the ``int -> bool`` mask idiom is exempted by RL302
+    itself, not here -- the lattice states the fact, the rule applies
+    the judgement."""
+    if not src.known or not dst.known:
+        return False
+    return dst < src
+
+
+#: Spellings of numpy dtype designators -> lattice point.  Attribute
+#: forms (``np.float32``), string forms (``"float32"``), and the
+#: builtin ctor names (``bool``, ``int``, ``float``) all normalize here.
+DTYPE_NAMES: Dict[str, DType] = {
+    "bool": DType.BOOL,
+    "bool_": DType.BOOL,
+    "int8": DType.INT8,
+    "int16": DType.INT16,
+    "int32": DType.INT32,
+    "int64": DType.INT64,
+    "int": DType.INT64,
+    "intp": DType.INT64,
+    "float32": DType.FLOAT32,
+    "float64": DType.FLOAT64,
+    "float": DType.FLOAT64,
+    "double": DType.FLOAT64,
+}
+
+
+# ---------------------------------------------------------------------------
+# The product domain
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """What the tensor interpreter knows about one value.
+
+    ``is_array`` is definite: rules only fire on values the analysis
+    *proved* to be arrays, so a joined or unknown value degrades to the
+    scalar form (``is_array=False``) and stays silent.  Scalars still
+    carry a dtype (``tally[i] += 1.5`` needs the 1.5 to be a known
+    float) and an orderedness (a set is not an array but iterating it
+    is UNORDERED).
+    """
+
+    is_array: bool = False
+    shape: Optional[Tuple[Dim, ...]] = None
+    dtype: DType = DType.TOP
+    regions: FrozenSet[int] = frozenset()
+    order: Orderedness = Orderedness.UNKNOWN
+
+    def join(self, other: "ArrayValue") -> "ArrayValue":
+        if self == other:
+            return self
+        is_array = self.is_array and other.is_array
+        shape: Optional[Tuple[Dim, ...]] = None
+        if (
+            is_array
+            and self.shape is not None
+            and other.shape is not None
+            and len(self.shape) == len(other.shape)
+        ):
+            shape = tuple(a.join(b) for a, b in zip(self.shape, other.shape))
+        return ArrayValue(
+            is_array=is_array,
+            shape=shape,
+            dtype=self.dtype.join(other.dtype),
+            regions=self.regions | other.regions,
+            order=self.order.join(other.order),
+        )
+
+    @property
+    def first_dim(self) -> Dim:
+        if self.shape:
+            return self.shape[0]
+        return UNKNOWN_DIM
+
+    @property
+    def last_dim(self) -> Dim:
+        if self.shape:
+            return self.shape[-1]
+        return UNKNOWN_DIM
+
+
+#: The neutral element: not provably an array, nothing known.
+UNKNOWN_ARRAY = ArrayValue()
+#: Plain non-array data with deterministic iteration order.
+ORDERED_SCALAR = ArrayValue(order=Orderedness.ORDERED)
+
+
+def scalar(dtype: DType) -> ArrayValue:
+    """A non-array value of known dtype (constants, scalar reductions)."""
+    return ArrayValue(dtype=dtype, order=Orderedness.ORDERED)
+
+
+def join_all(values: Iterable[ArrayValue]) -> ArrayValue:
+    out: Optional[ArrayValue] = None
+    for value in values:
+        out = value if out is None else out.join(value)
+    return out if out is not None else UNKNOWN_ARRAY
+
+
+def broadcast_dims(left: Dim, right: Dim) -> Dim:
+    """The broadcast result of two (compatible) axis lengths."""
+    if left == ONE_DIM:
+        return right
+    if right == ONE_DIM:
+        return left
+    if left == right:
+        return left
+    return UNKNOWN_DIM
+
+
+# ---------------------------------------------------------------------------
+# Numpy intrinsic tables (semantics the interpreter dispatches on)
+# ---------------------------------------------------------------------------
+
+#: Module-level creators returning a fresh array whose first positional
+#: argument is the shape; value = default dtype without a ``dtype=``.
+NP_SHAPE_CREATORS: Dict[str, DType] = {
+    "zeros": DType.FLOAT64,
+    "ones": DType.FLOAT64,
+    "empty": DType.FLOAT64,
+    "full": DType.FLOAT64,  # refined from the fill value when literal
+}
+
+#: Creators wrapping an existing sequence (shape/order taken from it).
+NP_WRAP_CREATORS: FrozenSet[str] = frozenset(
+    {"asarray", "array", "ascontiguousarray", "fromiter"}
+)
+
+#: ``np.arange(...)`` / ``np.linspace(...)``: 1-d fresh arrays.
+NP_RANGE_CREATORS: Dict[str, DType] = {
+    "arange": DType.INT64,  # refined to float64 when any arg is a float
+    "linspace": DType.FLOAT64,
+}
+
+#: ufunc reductions (``np.sum(x)`` and friends): array -> scalar (or
+#: smaller array); order-sensitive for float operands.
+NP_REDUCTIONS: FrozenSet[str] = frozenset(
+    {"sum", "prod", "mean", "std", "var", "dot", "nansum", "nanmean"}
+)
+
+#: Order-*insensitive* reductions: min/max/any/all commute exactly.
+NP_SAFE_REDUCTIONS: FrozenSet[str] = frozenset(
+    {"min", "max", "amin", "amax", "any", "all", "count_nonzero", "argmin", "argmax"}
+)
+
+#: Sorting entry points whose default kind is unstable (introsort).
+NP_SORT_FUNCS: FrozenSet[str] = frozenset({"sort", "argsort", "lexsort"})
+
+#: ``kind=`` spellings that guarantee a stable order.
+STABLE_SORT_KINDS: FrozenSet[str] = frozenset({"stable", "mergesort"})
+
+#: Elementwise/shape-preserving module functions: result shape/order
+#: follow the (first) array operand, dtype follows promotion.
+NP_ELEMENTWISE: FrozenSet[str] = frozenset(
+    {
+        "abs",
+        "maximum",
+        "minimum",
+        "where",
+        "clip",
+        "sqrt",
+        "exp",
+        "log",
+        "floor",
+        "ceil",
+        "logical_and",
+        "logical_or",
+        "logical_not",
+    }
+)
+
+#: Generator draw methods -> result dtype (``np.random.default_rng()``).
+NP_RNG_DRAWS: Dict[str, DType] = {
+    "random": DType.FLOAT64,
+    "uniform": DType.FLOAT64,
+    "normal": DType.FLOAT64,
+    "beta": DType.FLOAT64,
+    "exponential": DType.FLOAT64,
+    "integers": DType.INT64,
+    "choice": DType.TOP,
+    "permutation": DType.TOP,
+}
+
+#: Array methods returning a *view* (shared regions).
+NP_VIEW_METHODS: FrozenSet[str] = frozenset(
+    {"reshape", "ravel", "view", "transpose", "swapaxes", "squeeze"}
+)
+
+#: Array methods returning a fresh copy.
+NP_COPY_METHODS: FrozenSet[str] = frozenset({"copy", "flatten", "astype", "tolist"})
+
+#: ``ufunc.reduceat``/``ufunc.reduce`` attribute chains the engine uses.
+NP_UFUNC_HOSTS: FrozenSet[str] = frozenset({"add", "maximum", "minimum", "multiply"})
+
+#: Call names that *sink* an array's bytes into a fingerprint, checksum,
+#: report envelope, or telemetry snapshot (RL303's protected readers).
+SINK_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "fingerprint_of",
+        "trace_fingerprint",
+        "combined_fingerprint",
+        "sha256",
+        "checksum",
+        "ReplicateEnvelope",
+    }
+)
+
+#: Method sinks: ``<receiver>.<attr>(...)`` where the receiver is a
+#: telemetry recorder by convention.
+SINK_RECORDER_METHODS: FrozenSet[str] = frozenset({"count", "gauge", "series"})
+SINK_RECORDER_NAMES: FrozenSet[str] = frozenset({"rec", "recorder"})
+
+#: ``arr.tobytes()`` reads the array's bytes directly: a sink too.
+SINK_ARRAY_METHODS: FrozenSet[str] = frozenset({"tobytes", "tofile"})
+
+
+def tensor_tables_digest() -> str:
+    """Digest of the numpy intrinsic tables' *contents*.
+
+    Participates in the incremental-cache ruleset signature: any edit to
+    the tables above changes findings, so it must bust warm caches --
+    while editing this module's comments or docstrings must not (the
+    digest covers table contents, never file bytes).
+    """
+    digest = hashlib.sha256()
+    tables: Iterable[Tuple[str, object]] = [
+        ("shape_creators", sorted((k, int(v)) for k, v in NP_SHAPE_CREATORS.items())),
+        ("wrap_creators", sorted(NP_WRAP_CREATORS)),
+        ("range_creators", sorted((k, int(v)) for k, v in NP_RANGE_CREATORS.items())),
+        ("reductions", sorted(NP_REDUCTIONS)),
+        ("safe_reductions", sorted(NP_SAFE_REDUCTIONS)),
+        ("sort_funcs", sorted(NP_SORT_FUNCS)),
+        ("stable_kinds", sorted(STABLE_SORT_KINDS)),
+        ("elementwise", sorted(NP_ELEMENTWISE)),
+        ("rng_draws", sorted((k, int(v)) for k, v in NP_RNG_DRAWS.items())),
+        ("view_methods", sorted(NP_VIEW_METHODS)),
+        ("copy_methods", sorted(NP_COPY_METHODS)),
+        ("ufunc_hosts", sorted(NP_UFUNC_HOSTS)),
+        ("sink_funcs", sorted(SINK_FUNCS)),
+        ("sink_recorder_methods", sorted(SINK_RECORDER_METHODS)),
+        ("sink_recorder_names", sorted(SINK_RECORDER_NAMES)),
+        ("sink_array_methods", sorted(SINK_ARRAY_METHODS)),
+        ("dtype_names", sorted((k, int(v)) for k, v in DTYPE_NAMES.items())),
+    ]
+    for name, content in tables:
+        digest.update(f"{name}={content!r}\n".encode())
+    return digest.hexdigest()

@@ -35,7 +35,9 @@ CACHE_SCHEMA = "repro-lint-cache/1"
 #: Conventional cache file name, next to pyproject.toml.
 DEFAULT_CACHE_NAME = ".reprolint-cache.json"
 #: Bump whenever any rule's behaviour changes: invalidates every entry.
-RULESET_VERSION = 1
+#: 2: tensor tier (RL301-RL305) joined the signature, plus the numpy
+#: intrinsic tables digest (see ``repro.lint.arrays``).
+RULESET_VERSION = 2
 
 
 def file_sha(path: str) -> str:

@@ -1,6 +1,6 @@
 """Autofixes for the mechanical rules (``repro-lint --fix``).
 
-Two rules are mechanical enough to fix without judgement:
+Three rules are mechanical enough to fix without judgement:
 
 * **RL004** (mutable default argument): the default becomes ``None`` and
   a guard recreating the original value is inserted at the top of the
@@ -18,13 +18,25 @@ Two rules are mechanical enough to fix without judgement:
       except Exception:         except Exception:
           pass              ->      raise  # reprolint: re-raise (was swallowed)
 
-Fixes are driven by the rules' own findings (via the engine), so
-inline suppressions and package gating are honoured -- a site the
-linter would not flag is never rewritten -- and both fixes are
-idempotent: the rewritten code no longer triggers the rule, so a second
-``--fix`` pass is a no-op.  Sites the surgery cannot handle safely
-(lambdas, single-line ``def f(x=[]): ...`` bodies) are left alone and
-keep their finding.
+* **RL304** (unstable sort order): ``np.sort``/``np.argsort`` calls --
+  and ``.argsort()`` method calls, which only arrays have -- gain an
+  explicit stable kind::
+
+      np.argsort(weights)   ->  np.argsort(weights, kind="stable")
+
+  Bare ``.sort()`` method calls are left alone: the receiver could be
+  a plain list, whose ``sort`` takes no ``kind``.  Calls that already
+  pass any ``kind=`` (or ``**kwargs``) are untouched, so the fix is
+  idempotent and never overrides an explicit choice.
+
+RL004/RL006 fixes are driven by the rules' own findings (via the
+engine); RL304 is a project-tier rule, so its fixer matches the sites
+syntactically but honours the same inline suppression comments.  A
+site the linter would not flag is never rewritten, and every fix is
+idempotent: the rewritten code no longer triggers the rule, so a
+second ``--fix`` pass is a no-op.  Sites the surgery cannot handle
+safely (lambdas, single-line ``def f(x=[]): ...`` bodies) are left
+alone and keep their finding.
 """
 
 from __future__ import annotations
@@ -32,11 +44,17 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.lint.engine import LintEngine, registered_rules
+from repro.lint.engine import LintEngine, registered_rules, suppressions
 from repro.lint.rules import NoMutableDefaultArgsRule, NoSwallowedExceptionsRule
 
-#: Rules ``--fix`` knows how to rewrite.
-FIXABLE_RULES = ("RL004", "RL006")
+#: Rules ``--fix`` knows how to rewrite.  RL004/RL006 are per-file
+#: (engine-driven); RL304 is tensor-tier and matched syntactically.
+FIXABLE_RULES = ("RL004", "RL006", "RL304")
+
+#: ``kind=`` spellings that already guarantee a stable order (kept in
+#: sync with ``repro.lint.arrays.STABLE_SORT_KINDS`` without importing
+#: it: the fixer must not pull the tensor tier into per-file runs).
+_STABLE_KINDS = frozenset({"stable", "mergesort"})
 
 _RERAISE_STUB = "raise  # reprolint: re-raise (was swallowed)"
 
@@ -53,11 +71,13 @@ def fix_source(source: str, path: str = "<string>") -> Tuple[str, int]:
     """
     registry = registered_rules()
     engine = LintEngine(
-        rules=[registry[rule_id]() for rule_id in FIXABLE_RULES]
+        rules=[
+            registry[rule_id]()
+            for rule_id in FIXABLE_RULES
+            if rule_id in registry
+        ]
     )
     findings = engine.lint_source(source, path)
-    if not findings:
-        return source, 0
     anchors: Set[Tuple[str, int, int]] = {
         (f.rule_id, f.line, f.col) for f in findings
     }
@@ -65,14 +85,20 @@ def fix_source(source: str, path: str = "<string>") -> Tuple[str, int]:
         tree = ast.parse(source, filename=path)
     except SyntaxError:
         return source, 0
+    silenced = suppressions(source)
     lines = source.split("\n")
     edits: List[_Edit] = []
     applied = 0
+    numpy_names = _numpy_aliases(tree)
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             applied += _collect_default_fixes(node, anchors, lines, edits)
         elif isinstance(node, ast.ExceptHandler):
             applied += _collect_swallow_fixes(node, anchors, edits)
+        elif isinstance(node, ast.Call):
+            applied += _collect_stable_sort_fixes(
+                node, numpy_names, silenced, lines, edits
+            )
     if not edits:
         return source, 0
     _apply_edits(lines, edits)
@@ -208,6 +234,72 @@ def _collect_swallow_fixes(
     edits.append(
         (first.lineno, first.col_offset, end_line, end_col, _RERAISE_STUB)
     )
+    return 1
+
+
+def _numpy_aliases(tree: ast.AST) -> Set[str]:
+    """Local names bound to the numpy package (``np``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _collect_stable_sort_fixes(
+    node: ast.Call,
+    numpy_names: Set[str],
+    silenced: Dict[int, Set[str]],
+    lines: List[str],
+    edits: List[_Edit],
+) -> int:
+    """RL304: add ``kind="stable"`` to a sort call missing it."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return 0
+    is_np_sort = (
+        func.attr in ("sort", "argsort")
+        and isinstance(func.value, ast.Name)
+        and func.value.id in numpy_names
+    )
+    # Only .argsort() among the methods: a bare .sort() receiver could
+    # be a plain list, whose sort() takes no kind kwarg.
+    is_method_argsort = func.attr == "argsort" and not is_np_sort
+    if not (is_np_sort or is_method_argsort):
+        return 0
+    for keyword in node.keywords:
+        if keyword.arg == "kind" or keyword.arg is None:  # kind= or **kwargs
+            return 0
+    line = getattr(node, "lineno", 0)
+    if "RL304" in silenced.get(0, set()) or "RL304" in silenced.get(line, set()):
+        return 0
+    # Anchor after the last argument (works for multi-line calls); with
+    # no arguments, just inside the closing paren.
+    operands = list(node.args) + [kw.value for kw in node.keywords]
+    if operands:
+        last = max(
+            operands,
+            key=lambda expr: (
+                getattr(expr, "end_lineno", 0),
+                getattr(expr, "end_col_offset", 0),
+            ),
+        )
+        at_line = getattr(last, "end_lineno", None)
+        at_col = getattr(last, "end_col_offset", None)
+        insertion = ', kind="stable"'
+    else:
+        at_line = getattr(node, "end_lineno", None)
+        at_col = getattr(node, "end_col_offset", None)
+        at_col = at_col - 1 if at_col is not None else None
+        insertion = 'kind="stable"'
+    if at_line is None or at_col is None or at_col < 0:
+        return 0
+    text = lines[at_line - 1] if 0 < at_line <= len(lines) else ""
+    if at_col > len(text):
+        return 0
+    edits.append((at_line, at_col, at_line, at_col, insertion))
     return 1
 
 

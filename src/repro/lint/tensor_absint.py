@@ -1,0 +1,1346 @@
+"""Flow-sensitive abstract interpretation over array values (``--tensors``).
+
+The tensor sibling of :mod:`repro.lint.absint`: where the flow analysis
+tags every value with RNG provenance, this pass tags every value with an
+:class:`~repro.lint.arrays.ArrayValue` -- symbolic shape, dtype lattice
+point, aliasing regions, and iteration orderedness -- and propagates the
+tags statement by statement through assignments, branches (joined at the
+merge point), loops, containers, and interprocedurally through memoized
+function summaries over the same call graph the RL10x/RL20x rules use.
+
+Only modules that import numpy are interpreted: the domain is about
+array semantics, and skipping scalar modules keeps the pass cheap and
+silent where it has nothing to say.
+
+Array facts are minted at the numpy intrinsics tabulated in
+:mod:`repro.lint.arrays`: ``np.zeros(tasks)`` produces an int/float
+array with the symbolic first dim ``tasks``; ``rng.integers(0, 9, n)``
+an int64 column of length ``n``; basic slices and ``reshape`` *share*
+their base's aliasing regions while fancy/boolean indexing, ``copy``,
+``astype`` and arithmetic mint fresh ones.
+
+While interpreting, the analysis records the *events* the RL30x rules
+consume, each anchored to its AST node:
+
+* provably incompatible broadcasts and mask lengths (RL301);
+* dtype drifts -- float stores into int columns, narrowing ``astype``,
+  int columns rebound to float results, ``==`` across int/float
+  (RL302);
+* in-place mutation through an alias of a region that already reached a
+  fingerprint/envelope/telemetry sink (RL303);
+* ``sort``/``argsort`` without a stable ``kind``, ``np.unique`` index
+  assumptions and float ufunc reductions over unordered operands
+  (RL304).
+
+Everything is under-approximate, like every other reprolint tier: a
+rule fires only on definite evidence (two *known* incompatible dims, a
+*known* int column taking a *known* float), so clean means "nothing
+statically visible is wrong", never "proved safe".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.arrays import (
+    ArrayValue,
+    DTYPE_NAMES,
+    Dim,
+    DType,
+    NP_COPY_METHODS,
+    NP_ELEMENTWISE,
+    NP_RANGE_CREATORS,
+    NP_REDUCTIONS,
+    NP_RNG_DRAWS,
+    NP_SAFE_REDUCTIONS,
+    NP_SHAPE_CREATORS,
+    NP_SORT_FUNCS,
+    NP_UFUNC_HOSTS,
+    NP_VIEW_METHODS,
+    NP_WRAP_CREATORS,
+    ORDERED_SCALAR,
+    SINK_ARRAY_METHODS,
+    SINK_FUNCS,
+    SINK_RECORDER_METHODS,
+    SINK_RECORDER_NAMES,
+    STABLE_SORT_KINDS,
+    UNKNOWN_ARRAY,
+    UNKNOWN_DIM,
+    broadcast_dims,
+    dims_incompatible,
+    join_all,
+    narrows,
+    scalar,
+)
+from repro.lint.callgraph import CallGraph, FunctionInfo, ModuleScope, resolve_reference
+from repro.lint.graph import ImportGraph, ProjectModule
+from repro.lint.provenance import Orderedness
+
+#: numpy rng draw methods -> index of the positional size argument
+#: (``size=`` kwarg always wins); ``random(n)`` takes it first,
+#: ``uniform(lo, hi, n)`` / ``integers(lo, hi, n)`` third.
+_RNG_SIZE_POSITION = {"random": 0, "uniform": 2, "normal": 2, "integers": 2, "beta": 2}
+
+#: Binary operators whose array semantics are elementwise broadcasting.
+_BROADCAST_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+    ast.BitAnd,
+    ast.BitOr,
+    ast.BitXor,
+    ast.LShift,
+    ast.RShift,
+)
+
+#: Builtins preserving the operand's iteration order (cf. absint).
+_PRESERVING_CALLS = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+
+
+# ---------------------------------------------------------------------------
+# Event records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BroadcastMismatch:
+    """Two provably incompatible dims met in a broadcasting op."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    left: Dim
+    right: Dim
+    op: str  # human-readable operator, e.g. "*" or "=="
+
+
+@dataclass(frozen=True)
+class MaskMismatch:
+    """A boolean mask whose length provably differs from the masked axis."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    mask_dim: Dim
+    axis_dim: Dim
+
+
+@dataclass(frozen=True)
+class DtypeDrift:
+    """A silent dtype change the author probably did not intend."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    kind: str  # store-float-into-int | narrowing-astype |
+    #          # int-rebound-to-float | cross-dtype-compare
+    src: DType
+    dst: DType
+    name: str = ""  # the column/variable involved, when known
+
+
+@dataclass(frozen=True)
+class AliasMutation:
+    """In-place mutation through an alias of an already-sunk region."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    alias: str  # the name mutated through
+    sunk_as: str  # the name the region reached the sink under
+    sink: str  # the sink call, e.g. "fingerprint_of"
+    sink_lineno: int
+
+
+@dataclass(frozen=True)
+class UnstableSort:
+    """``sort``/``argsort`` without ``kind="stable"``."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    func: str  # e.g. "np.argsort" or ".argsort()"
+
+
+@dataclass(frozen=True)
+class UniqueOrder:
+    """``np.unique(..., return_index/inverse)`` over an unordered input."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+
+
+@dataclass(frozen=True)
+class ArrayReduce:
+    """A float ufunc reduction over a definitely-unordered operand."""
+
+    module: str
+    function: Optional[str]
+    node: ast.AST
+    reducer: str
+
+
+@dataclass
+class TensorEvents:
+    """Everything the RL30x rules consume, collected in one pass."""
+
+    broadcasts: List[BroadcastMismatch] = field(default_factory=list)
+    masks: List[MaskMismatch] = field(default_factory=list)
+    drifts: List[DtypeDrift] = field(default_factory=list)
+    alias_mutations: List[AliasMutation] = field(default_factory=list)
+    unstable_sorts: List[UnstableSort] = field(default_factory=list)
+    unique_orders: List[UniqueOrder] = field(default_factory=list)
+    unordered_reduces: List[ArrayReduce] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Module-level numpy discovery
+# ---------------------------------------------------------------------------
+
+
+def numpy_aliases(module: ProjectModule) -> FrozenSet[str]:
+    """Local names the module binds to the numpy package (``np``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(module.context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return frozenset(aliases)
+
+
+def numpy_from_imports(module: ProjectModule) -> Dict[str, str]:
+    """``from numpy import zeros as z`` -> {"z": "zeros"}."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(module.context.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                table[alias.asname or alias.name] = alias.name
+    return table
+
+
+# ---------------------------------------------------------------------------
+# The analysis
+# ---------------------------------------------------------------------------
+
+
+class TensorAnalysis:
+    """The interprocedural tensor analysis over one project.
+
+    Build once per run with :meth:`build`; the :class:`TensorEvents` in
+    :attr:`events` are then shared by every RL30x rule.
+    """
+
+    def __init__(self, graph: ImportGraph, callgraph: CallGraph) -> None:
+        self.graph = graph
+        self.callgraph = callgraph
+        self.events = TensorEvents()
+        #: module name -> local numpy aliases; absent = module skipped.
+        self.np_aliases: Dict[str, FrozenSet[str]] = {}
+        #: module name -> from-numpy import table.
+        self.np_from: Dict[str, Dict[str, str]] = {}
+        #: qualname -> summary return value (generic context, memoized).
+        self._returns: Dict[str, ArrayValue] = {}
+        self._in_progress: Set[str] = set()
+        #: module name -> abstract values of module-level bindings.
+        self.module_envs: Dict[str, Dict[str, ArrayValue]] = {}
+        self._region_counter = 0
+
+    @classmethod
+    def build(cls, graph: ImportGraph, callgraph: CallGraph) -> "TensorAnalysis":
+        analysis = cls(graph, callgraph)
+        for name, module in graph.modules.items():
+            aliases = numpy_aliases(module)
+            if aliases:
+                analysis.np_aliases[name] = aliases
+                analysis.np_from[name] = numpy_from_imports(module)
+        for name in sorted(analysis.np_aliases):
+            analysis._module_env(name)
+        for qualname in sorted(callgraph.functions):
+            info = callgraph.functions[qualname]
+            if info.module in analysis.np_aliases:
+                analysis.summary(qualname, record_events=True)
+        return analysis
+
+    def fresh_region(self) -> int:
+        self._region_counter += 1
+        return self._region_counter
+
+    def _module_env(self, name: str) -> Dict[str, ArrayValue]:
+        cached = self.module_envs.get(name)
+        if cached is not None:
+            return cached
+        self.module_envs[name] = {}  # cycle guard
+        module = self.graph.modules[name]
+        interpreter = _TensorInterpreter(
+            self, module, self.callgraph.scopes[name], qualname=None, record_events=True
+        )
+        top_level = [
+            node
+            for node in module.context.tree.body
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        ]
+        interpreter.run(top_level)
+        self.module_envs[name] = interpreter.env
+        return interpreter.env
+
+    def summary(self, qualname: str, record_events: bool = False) -> ArrayValue:
+        """The memoized (generic-context) return value of ``qualname``."""
+        info = self.callgraph.functions.get(qualname)
+        if info is None or info.module not in self.np_aliases:
+            return UNKNOWN_ARRAY
+        cached = self._returns.get(qualname)
+        if cached is not None and not record_events:
+            return cached
+        if qualname in self._in_progress:
+            return UNKNOWN_ARRAY  # recursion: neutral, like the flow pass
+        self._in_progress.add(qualname)
+        try:
+            interpreter = self._interpret_function(info, record_events)
+        finally:
+            self._in_progress.discard(qualname)
+        returns = interpreter.returns if interpreter.saw_return else UNKNOWN_ARRAY
+        self._returns[qualname] = returns
+        return returns
+
+    def _interpret_function(
+        self, info: FunctionInfo, record_events: bool
+    ) -> "_TensorInterpreter":
+        module = self.graph.modules[info.module]
+        scope = self.callgraph.scopes[info.module]
+        interpreter = _TensorInterpreter(
+            self, module, scope, qualname=info.qualname, record_events=record_events
+        )
+        interpreter.run(info.node.body)
+        return interpreter
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+
+class _TensorInterpreter:
+    """One flow-sensitive pass over a statement list."""
+
+    def __init__(
+        self,
+        analysis: TensorAnalysis,
+        module: ProjectModule,
+        scope: ModuleScope,
+        qualname: Optional[str],
+        record_events: bool = False,
+    ) -> None:
+        self.analysis = analysis
+        self.module = module
+        self.scope = scope
+        self.qualname = qualname
+        self.record = record_events
+        self.aliases = analysis.np_aliases.get(module.name, frozenset())
+        self.np_from = analysis.np_from.get(module.name, {})
+        self.env: Dict[str, ArrayValue] = {}
+        #: Names bound to ``np.random.default_rng(...)`` generators.
+        self.generators: Set[str] = set()
+        #: region id -> (name it was sunk under, sink lineno, sink desc).
+        self.sunk: Dict[int, Tuple[str, int, str]] = {}
+        self.returns: ArrayValue = UNKNOWN_ARRAY
+        self.saw_return = False
+
+    # -- statement dispatch -------------------------------------------
+
+    def run(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            self.execute(statement)
+
+    def execute(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._exec_assign(node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                value = self.eval(node.value)
+                self.returns = self.returns.join(value) if self.saw_return else value
+                self.saw_return = True
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            iterable = self.eval(node.iter)
+            element = ArrayValue(dtype=iterable.dtype, order=Orderedness.UNKNOWN)
+            self._bind_target(node.target, element)
+            self._join_branches([list(node.body) + list(node.orelse)])
+        elif isinstance(node, ast.While):
+            self.eval(node.test)
+            self._join_branches([node.body, node.orelse])
+        elif isinstance(node, ast.If):
+            self.eval(node.test)
+            self._join_branches([node.body, node.orelse])
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                value = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, value)
+            self.run(node.body)
+        elif isinstance(node, ast.Try):
+            blocks: List[List[ast.stmt]] = [node.body]
+            for handler in node.handlers:
+                blocks.append(handler.body)
+            if node.orelse:
+                blocks.append(node.orelse)
+            self._join_branches(blocks)
+            self.run(node.finalbody)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # analyzed via the call graph, not inline
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _join_branches(self, blocks: Sequence[Sequence[ast.stmt]]) -> None:
+        base_env = dict(self.env)
+        base_sunk = dict(self.sunk)
+        base_generators = set(self.generators)
+        merged_env: Optional[Dict[str, ArrayValue]] = None
+        merged_sunk = dict(base_sunk)
+        merged_generators = set(base_generators)
+        for block in blocks:
+            self.env = dict(base_env)
+            self.sunk = dict(base_sunk)
+            self.generators = set(base_generators)
+            self.run(block)
+            if merged_env is None:
+                merged_env = dict(self.env)
+            else:
+                keys = set(merged_env) | set(self.env)
+                merged_env = {
+                    key: merged_env[key].join(self.env[key])
+                    if key in merged_env and key in self.env
+                    else (merged_env.get(key) or self.env[key])
+                    for key in keys
+                }
+            for region, site in self.sunk.items():
+                merged_sunk.setdefault(region, site)
+            merged_generators |= self.generators
+        self.env = merged_env if merged_env is not None else base_env
+        self.sunk = merged_sunk
+        self.generators = merged_generators
+
+    def _exec_assign(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            value = self.eval(node.value)
+            for target in node.targets:
+                self._bind_target(target, value, rhs=node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                return
+            value = self.eval(node.value)
+            self._bind_target(node.target, value, rhs=node.value)
+        elif isinstance(node, ast.AugAssign):
+            value = self.eval(node.value)
+            target = node.target
+            if isinstance(target, ast.Name):
+                old = self.env.get(target.id, UNKNOWN_ARRAY)
+                if old.is_array:
+                    # ``col += x`` mutates in place: alias + dtype checks.
+                    self._check_store_drift(node, old, value, target.id)
+                    self._check_alias_mutation(node, target.id, old)
+                    self.env[target.id] = ArrayValue(
+                        is_array=True,
+                        shape=old.shape,
+                        dtype=old.dtype,
+                        regions=old.regions,
+                        order=old.order,
+                    )
+                else:
+                    self.env[target.id] = old.join(value)
+            elif isinstance(target, ast.Subscript):
+                self._exec_subscript_store(node, target, value)
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value: ArrayValue,
+        rhs: Optional[ast.expr] = None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            old = self.env.get(target.id)
+            if (
+                self.record
+                and old is not None
+                and old.is_array
+                and old.dtype.known
+                and old.dtype.is_int
+                and value.is_array
+                and value.dtype.is_float
+            ):
+                self.analysis.events.drifts.append(
+                    DtypeDrift(
+                        module=self.module.name,
+                        function=self.qualname,
+                        node=rhs if rhs is not None else target,
+                        kind="int-rebound-to-float",
+                        src=old.dtype,
+                        dst=value.dtype,
+                        name=target.id,
+                    )
+                )
+            self.env[target.id] = value
+            if rhs is not None and _is_default_rng_call(rhs, self.aliases):
+                self.generators.add(target.id)
+            else:
+                self.generators.discard(target.id)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value, rhs)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if (
+                rhs is not None
+                and isinstance(rhs, (ast.Tuple, ast.List))
+                and len(rhs.elts) == len(target.elts)
+            ):
+                for element, expr in zip(target.elts, rhs.elts):
+                    self._bind_target(element, self.eval(expr), rhs=expr)
+            else:
+                for element in target.elts:
+                    self._bind_target(element, UNKNOWN_ARRAY)
+        elif isinstance(target, ast.Subscript):
+            self._exec_subscript_store(target, target, value)
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            self.env[f"{target.value.id}.{target.attr}"] = value
+
+    def _exec_subscript_store(
+        self, anchor: ast.AST, target: ast.Subscript, value: ArrayValue
+    ) -> None:
+        """``a[idx] = v`` / ``a[idx] += v``: mask, dtype and alias checks."""
+        base_name = target.value.id if isinstance(target.value, ast.Name) else None
+        base = self.eval(target.value)
+        index = self.eval(target.slice)
+        if base.is_array:
+            self._check_mask(target, base, target.slice, index)
+            if base_name is not None:
+                self._check_store_drift(anchor, base, value, base_name)
+                self._check_alias_mutation(anchor, base_name, base)
+
+    def _check_store_drift(
+        self, node: ast.AST, column: ArrayValue, value: ArrayValue, name: str
+    ) -> None:
+        if not self.record:
+            return
+        if column.dtype.known and column.dtype.is_int and value.dtype.is_float:
+            self.analysis.events.drifts.append(
+                DtypeDrift(
+                    module=self.module.name,
+                    function=self.qualname,
+                    node=node,
+                    kind="store-float-into-int",
+                    src=column.dtype,
+                    dst=value.dtype,
+                    name=name,
+                )
+            )
+
+    def _check_alias_mutation(
+        self, node: ast.AST, name: str, value: ArrayValue
+    ) -> None:
+        if not self.record:
+            return
+        lineno = getattr(node, "lineno", 0)
+        for region in sorted(value.regions):
+            site = self.sunk.get(region)
+            if site is None:
+                continue
+            sunk_as, sink_lineno, sink = site
+            if sunk_as == name or lineno <= sink_lineno:
+                continue
+            self.analysis.events.alias_mutations.append(
+                AliasMutation(
+                    module=self.module.name,
+                    function=self.qualname,
+                    node=node,
+                    alias=name,
+                    sunk_as=sunk_as,
+                    sink=sink,
+                    sink_lineno=sink_lineno,
+                )
+            )
+            return  # one finding per mutation site
+
+    def _check_mask(
+        self,
+        node: ast.AST,
+        base: ArrayValue,
+        index_node: ast.expr,
+        index: ArrayValue,
+    ) -> None:
+        """Boolean-mask indexing with a provably wrong mask length."""
+        if not self.record:
+            return
+        if not (index.is_array and index.dtype.is_bool):
+            return
+        if dims_incompatible(index.first_dim, base.first_dim):
+            self.analysis.events.masks.append(
+                MaskMismatch(
+                    module=self.module.name,
+                    function=self.qualname,
+                    node=node,
+                    mask_dim=index.first_dim,
+                    axis_dim=base.first_dim,
+                )
+            )
+
+    # -- expression evaluation ----------------------------------------
+
+    def eval(self, node: ast.expr) -> ArrayValue:
+        if isinstance(node, ast.Constant):
+            return _constant_value(node.value)
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.eval(element)
+            return ORDERED_SCALAR
+        if isinstance(node, ast.Set):
+            for element in node.elts:
+                self.eval(element)
+            return ArrayValue(order=Orderedness.UNORDERED)
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    self.eval(value)
+            return ORDERED_SCALAR
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            order = self._bind_generators(node.generators)
+            self.eval(node.elt)
+            return ArrayValue(order=order)
+        if isinstance(node, ast.SetComp):
+            self._bind_generators(node.generators)
+            self.eval(node.elt)
+            return ArrayValue(order=Orderedness.UNORDERED)
+        if isinstance(node, ast.DictComp):
+            self._bind_generators(node.generators)
+            self.eval(node.key)
+            self.eval(node.value)
+            return ORDERED_SCALAR
+        if isinstance(node, ast.BoolOp):
+            return join_all(self.eval(value) for value in node.values)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body).join(self.eval(node.orelse))
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                return scalar(DType.BOOL)
+            if operand.is_array:
+                # ~mask / -col: elementwise, same shape, fresh storage.
+                return ArrayValue(
+                    is_array=True,
+                    shape=operand.shape,
+                    dtype=operand.dtype,
+                    regions=frozenset((self.analysis.fresh_region(),)),
+                    order=operand.order,
+                )
+            return operand
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self.eval(part)
+            return ORDERED_SCALAR
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return ORDERED_SCALAR
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value) if node.value is not None else UNKNOWN_ARRAY
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.eval(node.value)
+            return UNKNOWN_ARRAY
+        return UNKNOWN_ARRAY
+
+    def _eval_name(self, name: str) -> ArrayValue:
+        if name in self.env:
+            return self.env[name]
+        module_env = self.analysis.module_envs.get(self.module.name)
+        if module_env and name in module_env:
+            return module_env[name]
+        return UNKNOWN_ARRAY
+
+    def _eval_attribute(self, node: ast.Attribute) -> ArrayValue:
+        base = self.eval(node.value)
+        if base.is_array and node.attr == "T":
+            shape = tuple(reversed(base.shape)) if base.shape else None
+            return ArrayValue(
+                is_array=True,
+                shape=shape,
+                dtype=base.dtype,
+                regions=base.regions,  # a view
+                order=base.order,
+            )
+        if isinstance(node.value, ast.Name):
+            key = f"{node.value.id}.{node.attr}"
+            if key in self.env:
+                return self.env[key]
+        return UNKNOWN_ARRAY
+
+    def _bind_generators(
+        self, generators: Sequence[ast.comprehension]
+    ) -> Orderedness:
+        order = Orderedness.ORDERED
+        for generator in generators:
+            iterable = self.eval(generator.iter)
+            order = order.join(iterable.order)
+            self._bind_target(
+                generator.target, ArrayValue(dtype=iterable.dtype)
+            )
+            for condition in generator.ifs:
+                self.eval(condition)
+        return order
+
+    # -- operators ----------------------------------------------------
+
+    def _eval_binop(self, node: ast.BinOp) -> ArrayValue:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if not isinstance(node.op, _BROADCAST_OPS):
+            return UNKNOWN_ARRAY
+        if not (left.is_array or right.is_array):
+            if left.dtype.known and right.dtype.known:
+                out = left.dtype.join(right.dtype)
+                if isinstance(node.op, ast.Div):
+                    out = out.join(DType.FLOAT64)
+                return scalar(out)
+            return ArrayValue(order=left.order.join(right.order))
+        self._check_broadcast(node, left, right, _op_symbol(node.op))
+        return self._broadcast_result(left, right, division=isinstance(node.op, ast.Div))
+
+    def _eval_compare(self, node: ast.Compare) -> ArrayValue:
+        left = self.eval(node.left)
+        results = [left] + [self.eval(comp) for comp in node.comparators]
+        any_array = any(value.is_array for value in results)
+        if len(results) == 2:
+            lhs, rhs = results
+            if any_array:
+                self._check_broadcast(node, lhs, rhs, _op_symbol(node.ops[0]))
+            if (
+                self.record
+                and isinstance(node.ops[0], (ast.Eq, ast.NotEq))
+                and lhs.dtype.known
+                and rhs.dtype.known
+                and (
+                    (lhs.dtype.is_int and rhs.dtype.is_float)
+                    or (lhs.dtype.is_float and rhs.dtype.is_int)
+                )
+                and (lhs.is_array or rhs.is_array)
+            ):
+                self.analysis.events.drifts.append(
+                    DtypeDrift(
+                        module=self.module.name,
+                        function=self.qualname,
+                        node=node,
+                        kind="cross-dtype-compare",
+                        src=lhs.dtype,
+                        dst=rhs.dtype,
+                    )
+                )
+        if any_array:
+            result = self._broadcast_result(*results[:2])
+            return ArrayValue(
+                is_array=True,
+                shape=result.shape,
+                dtype=DType.BOOL,
+                regions=frozenset((self.analysis.fresh_region(),)),
+                order=result.order,
+            )
+        return scalar(DType.BOOL)
+
+    def _check_broadcast(
+        self, node: ast.AST, left: ArrayValue, right: ArrayValue, op: str
+    ) -> None:
+        if not self.record:
+            return
+        if not (left.is_array and right.is_array):
+            return
+        if dims_incompatible(left.last_dim, right.last_dim):
+            self.analysis.events.broadcasts.append(
+                BroadcastMismatch(
+                    module=self.module.name,
+                    function=self.qualname,
+                    node=node,
+                    left=left.last_dim,
+                    right=right.last_dim,
+                    op=op,
+                )
+            )
+
+    def _broadcast_result(
+        self, left: ArrayValue, right: ArrayValue, division: bool = False
+    ) -> ArrayValue:
+        """Elementwise result of an array op: fresh storage, promoted dtype."""
+        array_side = left if left.is_array else right
+        shape = array_side.shape
+        if (
+            left.is_array
+            and right.is_array
+            and left.shape is not None
+            and right.shape is not None
+            and len(left.shape) == len(right.shape)
+        ):
+            shape = tuple(
+                broadcast_dims(a, b) for a, b in zip(left.shape, right.shape)
+            )
+        dtype = left.dtype.join(right.dtype)
+        if division and not dtype.is_float:
+            dtype = DType.FLOAT64  # true division always yields floats
+        return ArrayValue(
+            is_array=True,
+            shape=shape,
+            dtype=dtype,
+            regions=frozenset((self.analysis.fresh_region(),)),
+            order=left.order.join(right.order),
+        )
+
+    # -- subscripts ---------------------------------------------------
+
+    def _eval_subscript(self, node: ast.Subscript) -> ArrayValue:
+        base = self.eval(node.value)
+        index_node = node.slice
+        if not base.is_array:
+            self.eval(index_node)
+            return UNKNOWN_ARRAY
+        if isinstance(index_node, ast.Slice):
+            for part in (index_node.lower, index_node.upper, index_node.step):
+                if part is not None:
+                    self.eval(part)
+            # Basic slicing returns a *view*: shared regions, first dim
+            # generally shortened (unknown), later dims preserved.
+            shape = (
+                (UNKNOWN_DIM,) + tuple(base.shape[1:]) if base.shape else None
+            )
+            return ArrayValue(
+                is_array=True,
+                shape=shape,
+                dtype=base.dtype,
+                regions=base.regions,
+                order=base.order,
+            )
+        index = self.eval(index_node)
+        if index.is_array and index.dtype.is_bool:
+            # Boolean masking: a copy of unknown length.
+            self._check_mask(node, base, index_node, index)
+            return ArrayValue(
+                is_array=True,
+                shape=(UNKNOWN_DIM,),
+                dtype=base.dtype,
+                regions=frozenset((self.analysis.fresh_region(),)),
+                order=base.order,
+            )
+        if index.is_array:
+            # Fancy indexing: a copy shaped like the index.
+            return ArrayValue(
+                is_array=True,
+                shape=index.shape,
+                dtype=base.dtype,
+                regions=frozenset((self.analysis.fresh_region(),)),
+                order=base.order,
+            )
+        if base.shape is not None and len(base.shape) > 1:
+            return ArrayValue(
+                is_array=True,
+                shape=tuple(base.shape[1:]),
+                dtype=base.dtype,
+                regions=base.regions,  # a row view
+                order=base.order,
+            )
+        return scalar(base.dtype)
+
+    # -- calls --------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> ArrayValue:
+        func = node.func
+        self._check_sinks(node)
+
+        np_name = self._numpy_func(func)
+        if np_name is not None:
+            return self._eval_numpy_call(node, np_name)
+
+        if isinstance(func, ast.Attribute):
+            result = self._eval_method_call(node, func)
+            if result is not None:
+                return result
+
+        if isinstance(func, ast.Name):
+            result = self._eval_builtin_call(node, func.id)
+            if result is not None:
+                return result
+
+        for arg in node.args:
+            self.eval(arg)
+        for kw in node.keywords:
+            self.eval(kw.value)
+
+        resolved = resolve_reference(
+            func, self.module, self.scope, self.analysis.graph, self.analysis.callgraph.scopes
+        )
+        if resolved is not None:
+            return self.analysis.summary(resolved)
+        return UNKNOWN_ARRAY
+
+    def _numpy_func(self, func: ast.expr) -> Optional[str]:
+        """``np.zeros`` -> "zeros"; ``np.add.reduceat`` -> "add.reduceat";
+        a bare from-numpy import -> its original name."""
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id in self.aliases:
+                return func.attr
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self.aliases
+            ):
+                return f"{value.attr}.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in self.np_from:
+            return self.np_from[func.id]
+        return None
+
+    def _eval_numpy_call(self, node: ast.Call, name: str) -> ArrayValue:
+        arg_values = [self.eval(arg) for arg in node.args]
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+        for kw in node.keywords:
+            self.eval(kw.value)
+        first = arg_values[0] if arg_values else UNKNOWN_ARRAY
+
+        if name in NP_SHAPE_CREATORS:
+            dtype = self._dtype_kwarg(kwargs)
+            if dtype is None:
+                dtype = NP_SHAPE_CREATORS[name]
+                if name == "full" and len(node.args) > 1:
+                    fill = arg_values[1]
+                    dtype = fill.dtype if fill.dtype.known else DType.TOP
+            shape = self._shape_from_node(node.args[0]) if node.args else None
+            return self._fresh_array(shape, dtype)
+        if name in NP_RANGE_CREATORS:
+            dtype = self._dtype_kwarg(kwargs)
+            if dtype is None:
+                dtype = NP_RANGE_CREATORS[name]
+                if name == "arange" and any(
+                    value.dtype.is_float for value in arg_values
+                ):
+                    dtype = DType.FLOAT64
+            dim = (
+                _dim_from_node(node.args[0])
+                if name == "arange" and len(node.args) == 1
+                else UNKNOWN_DIM
+            )
+            return self._fresh_array((dim,), dtype)
+        if name in NP_WRAP_CREATORS:
+            dtype = self._dtype_kwarg(kwargs)
+            if dtype is None:
+                dtype = first.dtype if first.is_array else DType.TOP
+            shape = first.shape if first.is_array else (UNKNOWN_DIM,)
+            regions = (
+                first.regions
+                if name == "asarray" and first.is_array
+                else frozenset((self.analysis.fresh_region(),))
+            )
+            return ArrayValue(
+                is_array=True,
+                shape=shape,
+                dtype=dtype,
+                regions=regions,
+                order=first.order,
+            )
+        if name in ("concatenate", "stack", "hstack", "vstack"):
+            parts: List[ArrayValue] = []
+            if node.args and isinstance(node.args[0], (ast.Tuple, ast.List)):
+                parts = [self.eval(part) for part in node.args[0].elts]
+            arrays = [part for part in parts if part.is_array]
+            dtype = (
+                join_all(arrays).dtype
+                if arrays and len(arrays) == len(parts)
+                else DType.TOP
+            )
+            order = join_all(parts).order if parts else Orderedness.UNKNOWN
+            return ArrayValue(
+                is_array=True,
+                shape=(UNKNOWN_DIM,),
+                dtype=dtype,
+                regions=frozenset((self.analysis.fresh_region(),)),
+                order=order,
+            )
+        if name == "cumsum" and first.is_array:
+            return self._fresh_array(first.shape, first.dtype, order=first.order)
+        if name in NP_REDUCTIONS:
+            self._check_reduce(node, name, first)
+            dtype = (
+                DType.FLOAT64
+                if name in ("mean", "std", "var", "nanmean")
+                else (first.dtype if first.dtype.known else DType.TOP)
+            )
+            return scalar(dtype)
+        if name in NP_SAFE_REDUCTIONS:
+            if name in ("argmin", "argmax", "count_nonzero"):
+                return scalar(DType.INT64)
+            if name in ("any", "all"):
+                return scalar(DType.BOOL)
+            return scalar(first.dtype if first.dtype.known else DType.TOP)
+        if name in NP_SORT_FUNCS:
+            self._check_sort(node, f"np.{name}", kwargs)
+            if name == "argsort" or name == "lexsort":
+                return self._fresh_array(
+                    first.shape if first.is_array else None, DType.INT64
+                )
+            return self._fresh_array(
+                first.shape if first.is_array else None,
+                first.dtype,
+                order=Orderedness.ORDERED,
+            )
+        if name == "unique":
+            if self.record and first.order is Orderedness.UNORDERED:
+                if any(key in kwargs for key in ("return_index", "return_inverse")):
+                    self.analysis.events.unique_orders.append(
+                        UniqueOrder(
+                            module=self.module.name,
+                            function=self.qualname,
+                            node=node,
+                        )
+                    )
+            return self._fresh_array(
+                (UNKNOWN_DIM,),
+                first.dtype if first.is_array else DType.TOP,
+                order=Orderedness.ORDERED,  # np.unique sorts its output
+            )
+        if name in NP_ELEMENTWISE:
+            arrays = [value for value in arg_values if value.is_array]
+            if not arrays:
+                return UNKNOWN_ARRAY
+            base = arrays[-1] if name == "where" else arrays[0]
+            dtype = join_all(arrays).dtype if name != "logical_not" else DType.BOOL
+            if name in ("logical_and", "logical_or", "logical_not"):
+                dtype = DType.BOOL
+            return self._fresh_array(base.shape, dtype, order=base.order)
+        if "." in name:
+            host, method = name.split(".", 1)
+            if host in NP_UFUNC_HOSTS:
+                if method == "reduceat":
+                    return self._fresh_array(
+                        (UNKNOWN_DIM,), first.dtype if first.is_array else DType.TOP
+                    )
+                if method == "reduce":
+                    self._check_reduce(node, name, first)
+                    return scalar(first.dtype if first.dtype.known else DType.TOP)
+                if method == "at":
+                    return UNKNOWN_ARRAY
+        if name == "random.default_rng":
+            return UNKNOWN_ARRAY
+        return UNKNOWN_ARRAY
+
+    def _eval_method_call(
+        self, node: ast.Call, func: ast.Attribute
+    ) -> Optional[ArrayValue]:
+        receiver = self.eval(func.value)
+        method = func.attr
+        receiver_name = (
+            func.value.id if isinstance(func.value, ast.Name) else None
+        )
+        arg_values = [self.eval(arg) for arg in node.args]
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+        for kw in node.keywords:
+            self.eval(kw.value)
+
+        if receiver_name is not None and receiver_name in self.generators:
+            draw = NP_RNG_DRAWS.get(method)
+            if draw is not None:
+                size_node = kwargs.get("size")
+                if size_node is None:
+                    position = _RNG_SIZE_POSITION.get(method)
+                    if position is not None and len(node.args) > position:
+                        size_node = node.args[position]
+                if size_node is None:
+                    return scalar(draw)
+                return self._fresh_array(self._shape_from_node(size_node), draw)
+
+        if receiver.is_array:
+            if method == "astype":
+                target = (
+                    _dtype_from_node(node.args[0], self.aliases)
+                    if node.args
+                    else None
+                )
+                dst = target if target is not None else DType.TOP
+                if (
+                    self.record
+                    and target is not None
+                    and narrows(receiver.dtype, dst)
+                ):
+                    self.analysis.events.drifts.append(
+                        DtypeDrift(
+                            module=self.module.name,
+                            function=self.qualname,
+                            node=node,
+                            kind="narrowing-astype",
+                            src=receiver.dtype,
+                            dst=dst,
+                            name=receiver_name or "",
+                        )
+                    )
+                return self._fresh_array(receiver.shape, dst, order=receiver.order)
+            if method in NP_VIEW_METHODS:
+                return ArrayValue(
+                    is_array=True,
+                    shape=None,  # reshape/ravel change the shape
+                    dtype=receiver.dtype,
+                    regions=receiver.regions,
+                    order=receiver.order,
+                )
+            if method in NP_COPY_METHODS:
+                if method == "tolist":
+                    return ArrayValue(dtype=receiver.dtype, order=receiver.order)
+                return self._fresh_array(
+                    receiver.shape, receiver.dtype, order=receiver.order
+                )
+            if method in ("sort", "argsort"):
+                self._check_sort(node, f".{method}()", kwargs)
+                if method == "argsort":
+                    return self._fresh_array(receiver.shape, DType.INT64)
+                return UNKNOWN_ARRAY  # in-place sort returns None
+            if method in ("sum", "prod", "mean", "std", "var"):
+                self._check_reduce(node, f".{method}()", receiver)
+                dtype = (
+                    DType.FLOAT64
+                    if method in ("mean", "std", "var")
+                    else receiver.dtype
+                )
+                return scalar(dtype if dtype.known else DType.TOP)
+            if method in ("min", "max"):
+                return scalar(receiver.dtype if receiver.dtype.known else DType.TOP)
+            if method in ("any", "all"):
+                return scalar(DType.BOOL)
+        return None
+
+    def _eval_builtin_call(self, node: ast.Call, name: str) -> Optional[ArrayValue]:
+        arg_values = [self.eval(arg) for arg in node.args]
+        for kw in node.keywords:
+            self.eval(kw.value)
+        first = arg_values[0] if arg_values else UNKNOWN_ARRAY
+        if name == "sorted":
+            return ArrayValue(dtype=first.dtype, order=Orderedness.ORDERED)
+        if name in ("set", "frozenset"):
+            return ArrayValue(dtype=first.dtype, order=Orderedness.UNORDERED)
+        if name in _PRESERVING_CALLS:
+            return ArrayValue(
+                dtype=first.dtype,
+                order=first.order if arg_values else Orderedness.ORDERED,
+            )
+        if name == "len":
+            return scalar(DType.INT64)
+        if name == "int":
+            return scalar(DType.INT64)
+        if name == "float":
+            return scalar(DType.FLOAT64)
+        if name == "bool":
+            return scalar(DType.BOOL)
+        if name in ("abs", "round", "sum", "min", "max"):
+            return scalar(first.dtype if first.dtype.known else DType.TOP)
+        return None
+
+    # -- event helpers ------------------------------------------------
+
+    def _check_sort(
+        self, node: ast.Call, func: str, kwargs: Dict[str, ast.expr]
+    ) -> None:
+        if not self.record:
+            return
+        kind = kwargs.get("kind")
+        if (
+            kind is not None
+            and isinstance(kind, ast.Constant)
+            and kind.value in STABLE_SORT_KINDS
+        ):
+            return
+        self.analysis.events.unstable_sorts.append(
+            UnstableSort(
+                module=self.module.name,
+                function=self.qualname,
+                node=node,
+                func=func,
+            )
+        )
+
+    def _check_reduce(self, node: ast.Call, reducer: str, operand: ArrayValue) -> None:
+        if not self.record:
+            return
+        if operand.order is not Orderedness.UNORDERED:
+            return
+        if not operand.dtype.is_float:
+            return  # integer reductions are exact in any order
+        self.analysis.events.unordered_reduces.append(
+            ArrayReduce(
+                module=self.module.name,
+                function=self.qualname,
+                node=node,
+                reducer=reducer,
+            )
+        )
+
+    def _check_sinks(self, node: ast.Call) -> None:
+        """Record regions whose bytes reach a fingerprint/snapshot sink."""
+        func = node.func
+        sink: Optional[str] = None
+        sink_args: Sequence[ast.expr] = node.args
+        if isinstance(func, ast.Name) and func.id in SINK_FUNCS:
+            sink = func.id
+        elif isinstance(func, ast.Attribute):
+            if func.attr in SINK_FUNCS:
+                sink = func.attr
+            elif (
+                func.attr in SINK_RECORDER_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in SINK_RECORDER_NAMES
+            ):
+                sink = f"{func.value.id}.{func.attr}"
+            elif func.attr in SINK_ARRAY_METHODS:
+                sink = f".{func.attr}()"
+                sink_args = [func.value]
+        if sink is None:
+            return
+        lineno = getattr(node, "lineno", 0)
+        for arg in sink_args:
+            value = self.eval(arg)
+            if not value.regions:
+                continue
+            name = arg.id if isinstance(arg, ast.Name) else "<expr>"
+            for region in value.regions:
+                self.sunk.setdefault(region, (name, lineno, sink))
+
+    # -- small builders -----------------------------------------------
+
+    def _fresh_array(
+        self,
+        shape: Optional[Tuple[Dim, ...]],
+        dtype: DType,
+        order: Orderedness = Orderedness.ORDERED,
+    ) -> ArrayValue:
+        return ArrayValue(
+            is_array=True,
+            shape=shape,
+            dtype=dtype,
+            regions=frozenset((self.analysis.fresh_region(),)),
+            order=order,
+        )
+
+    def _dtype_kwarg(self, kwargs: Dict[str, ast.expr]) -> Optional[DType]:
+        node = kwargs.get("dtype")
+        if node is None:
+            return None
+        return _dtype_from_node(node, self.aliases)
+
+    def _shape_from_node(self, node: ast.expr) -> Optional[Tuple[Dim, ...]]:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return tuple(_dim_from_node(element) for element in node.elts)
+        return (_dim_from_node(node),)
+
+
+# ---------------------------------------------------------------------------
+# Syntactic helpers
+# ---------------------------------------------------------------------------
+
+
+def _constant_value(value: object) -> ArrayValue:
+    if isinstance(value, bool):
+        return scalar(DType.BOOL)
+    if isinstance(value, int):
+        return scalar(DType.INT64)
+    if isinstance(value, float):
+        return scalar(DType.FLOAT64)
+    return ORDERED_SCALAR
+
+
+def _dim_from_node(node: ast.expr) -> Dim:
+    """The symbolic/literal axis length named by a size expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return Dim(size=node.value)
+    if isinstance(node, ast.Name):
+        return Dim(name=node.id)
+    if isinstance(node, ast.Attribute):
+        parts: List[str] = [node.attr]
+        value = node.value
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name):
+            parts.append(value.id)
+            return Dim(name=".".join(reversed(parts)))
+    return UNKNOWN_DIM
+
+
+def _dtype_from_node(node: ast.expr, aliases: FrozenSet[str]) -> Optional[DType]:
+    """Resolve a dtype designator expression to a lattice point."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id in aliases:
+            return DTYPE_NAMES.get(node.attr)
+        return None
+    if isinstance(node, ast.Name):
+        return DTYPE_NAMES.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return DTYPE_NAMES.get(node.value)
+    return None
+
+
+def _op_symbol(op: ast.AST) -> str:
+    symbols = {
+        ast.Add: "+",
+        ast.Sub: "-",
+        ast.Mult: "*",
+        ast.Div: "/",
+        ast.FloorDiv: "//",
+        ast.Mod: "%",
+        ast.Pow: "**",
+        ast.BitAnd: "&",
+        ast.BitOr: "|",
+        ast.BitXor: "^",
+        ast.LShift: "<<",
+        ast.RShift: ">>",
+        ast.Eq: "==",
+        ast.NotEq: "!=",
+        ast.Lt: "<",
+        ast.LtE: "<=",
+        ast.Gt: ">",
+        ast.GtE: ">=",
+    }
+    return symbols.get(type(op), "?")
+
+
+def _is_default_rng_call(node: ast.expr, aliases: FrozenSet[str]) -> bool:
+    """``np.random.default_rng(...)``: the value is a numpy Generator."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "default_rng"
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "random"
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id in aliases
+    )

@@ -1,0 +1,452 @@
+"""Tensor rules (RL301-RL305), run by ``repro-lint --tensors``.
+
+These consume the events collected by the array abstract interpreter in
+:mod:`repro.lint.tensor_absint` -- provably incompatible broadcasts,
+silent dtype drifts, mutation through aliases of fingerprinted storage,
+unstable sorts -- plus a syntactic/call-graph pass for regime-guard
+completeness, and encode the invariants the columnar tier's
+byte-identity guarantee depends on:
+
+* shapes that meet in an elementwise op must be compatible (RL301);
+* a column keeps its declared dtype -- no silent truncation, widening
+  or cross-dtype equality (RL302);
+* storage that reached a fingerprint/envelope/telemetry snapshot is
+  never mutated through another alias afterwards (RL303);
+* decision paths see only deterministic array orders: stable sorts,
+  no ``np.unique`` index assumptions, no float reductions over
+  unordered operands (RL304);
+* columnar deciders *reject* configs outside the supported regime --
+  every ``*Unsupported`` guard is live and every public entry point
+  reaches one (RL305).
+
+Like the RL1xx/RL2xx tiers the rules are deliberately
+under-approximate: they fire only on definite evidence (two *known*
+incompatible dims, a *known* int column taking a *known* float), so a
+finding is worth reading and a clean run means "nothing statically
+visible is wrong", not "proved safe".
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ProjectModule
+from repro.lint.project_rules import ProjectContext
+from repro.lint.tensor_absint import TensorAnalysis
+
+#: Packages whose array code feeds decisions or reports; nondeterminism
+#: there breaks the jobs=N == jobs=1 byte-identity guarantee (RL304).
+TENSOR_DECISION_PACKAGES = frozenset({"core", "sim", "dca", "parallel", "bench"})
+
+#: Class-name suffix marking a regime-rejection exception (RL305).
+_GUARD_SUFFIX = "Unsupported"
+
+
+class TensorRule(abc.ABC):
+    """Base class for tensor rules: whole-program, fed by the analysis."""
+
+    rule_id: str = "RL399"
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+
+    @abc.abstractmethod
+    def check(
+        self, project: ProjectContext, analysis: TensorAnalysis
+    ) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+    def finding(
+        self, module: ProjectModule, node: Optional[ast.AST], message: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=(getattr(node, "col_offset", 0) + 1) if node is not None else 1,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_TENSOR_REGISTRY: Dict[str, Type[TensorRule]] = {}
+
+
+def register_tensor(cls: Type[TensorRule]) -> Type[TensorRule]:
+    """Class decorator adding a tensor rule to the registry."""
+    if cls.rule_id in _TENSOR_REGISTRY:
+        raise ValueError(f"duplicate tensor rule id {cls.rule_id}")
+    _TENSOR_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_tensor_rules() -> Dict[str, Type[TensorRule]]:
+    """The tensor-rule registry, keyed by rule id."""
+    return dict(_TENSOR_REGISTRY)
+
+
+def _where(function: Optional[str]) -> str:
+    if function is None:
+        return "module-level code"
+    return function.split(":", 1)[1] + "()"
+
+
+def _site_key(record) -> Tuple[str, int, int]:
+    return (
+        record.module,
+        getattr(record.node, "lineno", 0),
+        getattr(record.node, "col_offset", 0),
+    )
+
+
+@register_tensor
+class BroadcastMismatchRule(TensorRule):
+    """RL301: two arrays whose trailing dims are *provably* incompatible
+    (distinct symbolic names like ``tasks`` vs ``nodes``, or unequal
+    literals, neither being 1) met in an elementwise op, or a boolean
+    mask whose length provably differs from the masked axis.  numpy
+    would raise at runtime -- but only in the regime that exercises the
+    branch, which for gated columnar code may be long after merge."""
+
+    rule_id = "RL301"
+    summary = "no provably incompatible shapes in broadcasting ops or masks"
+
+    def check(
+        self, project: ProjectContext, analysis: TensorAnalysis
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, int]] = set()
+        for record in analysis.events.broadcasts:
+            key = _site_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                project.modules[record.module],
+                record.node,
+                f"{_where(record.function)} broadcasts dim '{record.left}' "
+                f"against dim '{record.right}' with '{record.op}'; the axes "
+                "are provably incompatible, so this raises at runtime in "
+                "the regime that reaches it -- align the arrays to one "
+                "axis before the op",
+            )
+        for record in analysis.events.masks:
+            key = _site_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                project.modules[record.module],
+                record.node,
+                f"{_where(record.function)} applies a boolean mask of "
+                f"length '{record.mask_dim}' to an axis of length "
+                f"'{record.axis_dim}'; mask and axis provably differ -- "
+                "build the mask over the same axis it filters",
+            )
+
+
+@register_tensor
+class DtypeDriftRule(TensorRule):
+    """RL302: a column's dtype silently changed out from under its
+    semantics.  ``int`` tallies rebound to float results (a ``/`` or
+    float arithmetic replaced exact counts), float values stored into
+    int columns (silent truncation), a narrowing ``astype`` (precision
+    loss), or ``==`` between int and float arrays (exactness illusion).
+    ``astype(bool)`` of int data is exempt -- that is idiomatic
+    masking, not drift."""
+
+    rule_id = "RL302"
+    summary = "no silent dtype drift on array columns"
+
+    _MESSAGES = {
+        "store-float-into-int": (
+            "stores a float value into int column '{name}'; numpy "
+            "truncates silently and the tally stops being exact -- "
+            "round explicitly or declare the column float64"
+        ),
+        "narrowing-astype": (
+            "narrows '{name}' from {src} to {dst} with astype(); "
+            "precision is lost silently -- widen instead, or cast "
+            "through an explicit rounding step"
+        ),
+        "int-rebound-to-float": (
+            "rebinds int column '{name}' to a float result; exact "
+            "integer tallies became inexact floats mid-function -- "
+            "use a new name for the derived float column"
+        ),
+        "cross-dtype-compare": (
+            "compares int and float arrays with '=='; float "
+            "representation makes the equality inexact -- compare in "
+            "one dtype, or use np.isclose for floats"
+        ),
+    }
+
+    def check(
+        self, project: ProjectContext, analysis: TensorAnalysis
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, int]] = set()
+        for record in analysis.events.drifts:
+            if (
+                record.kind == "narrowing-astype"
+                and record.src.is_int
+                and record.dst.is_bool
+            ):
+                continue  # int -> bool is idiomatic masking
+            key = _site_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            template = self._MESSAGES[record.kind]
+            detail = template.format(
+                name=record.name or "<array>",
+                src=record.src.name.lower(),
+                dst=record.dst.name.lower(),
+            )
+            yield self.finding(
+                project.modules[record.module],
+                record.node,
+                f"{_where(record.function)} {detail}",
+            )
+
+
+@register_tensor
+class AliasMutationRule(TensorRule):
+    """RL303: storage that already reached a fingerprint, envelope or
+    telemetry snapshot is mutated in place through a *different* alias
+    (a view or a second name for the same buffer).  The sink holds the
+    buffer by reference, so the snapshot silently changes after the
+    fact and the recorded trace no longer matches what ran -- copy
+    before sinking, or mutate before the snapshot."""
+
+    rule_id = "RL303"
+    summary = "no in-place mutation through an alias of fingerprinted storage"
+
+    def check(
+        self, project: ProjectContext, analysis: TensorAnalysis
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, int]] = set()
+        for record in analysis.events.alias_mutations:
+            key = _site_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                project.modules[record.module],
+                record.node,
+                f"{_where(record.function)} mutates '{record.alias}' in "
+                f"place, but the same storage reached {record.sink}() as "
+                f"'{record.sunk_as}' on line {record.sink_lineno}; the "
+                "snapshot aliases the buffer and silently changes -- "
+                "sink a .copy(), or finish mutating first",
+            )
+
+
+@register_tensor
+class UnstableArrayOrderRule(TensorRule):
+    """RL304: a nondeterministic array order feeding decision/report
+    code in core/sim/dca/parallel/bench.  ``sort``/``argsort`` without
+    ``kind="stable"`` break ties by an implementation-defined
+    introsort order; ``np.unique(..., return_index/inverse)`` over an
+    unordered operand pins indices to an unstable input order; float
+    ufunc reductions over set-derived operands change value with hash
+    seed.  Any of these silently breaks the jobs=N == jobs=1
+    byte-identity guarantee."""
+
+    rule_id = "RL304"
+    summary = "no nondeterministic array ordering in decision paths"
+
+    def check(
+        self, project: ProjectContext, analysis: TensorAnalysis
+    ) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, int]] = set()
+        for record in analysis.events.unstable_sorts:
+            module = project.modules[record.module]
+            if module.package not in TENSOR_DECISION_PACKAGES:
+                continue
+            key = _site_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module,
+                record.node,
+                f"{_where(record.function)} calls {record.func} without "
+                "kind=\"stable\"; ties break in an implementation-defined "
+                "order and equal-key rows reorder between runs -- pass "
+                "kind=\"stable\"",
+            )
+        for record in analysis.events.unique_orders:
+            module = project.modules[record.module]
+            if module.package not in TENSOR_DECISION_PACKAGES:
+                continue
+            key = _site_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module,
+                record.node,
+                f"{_where(record.function)} calls np.unique with "
+                "return_index/return_inverse on an unordered operand; the "
+                "returned indices depend on the unstable input order -- "
+                "sort the input first",
+            )
+        for record in analysis.events.unordered_reduces:
+            module = project.modules[record.module]
+            if module.package not in TENSOR_DECISION_PACKAGES:
+                continue
+            key = _site_key(record)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                module,
+                record.node,
+                f"{_where(record.function)} reduces ({record.reducer}) a "
+                "float operand the analysis proves unordered (set-derived "
+                "or completion-ordered); float accumulation is "
+                "order-sensitive -- sort or materialize a deterministic "
+                "order first",
+            )
+
+
+@register_tensor
+class RegimeGuardRule(TensorRule):
+    """RL305: regime-guard completeness for gated engines.  A module
+    that defines a ``*Unsupported`` rejection exception promises to
+    *reject*, not guess, outside its supported regime.  Two ways to
+    break the promise:
+
+    * a guard ``raise`` that is statically dead -- behind ``if False``
+      or after an unconditional return/raise, so the unsupported config
+      sails through;
+    * a public entry point taking a ``config`` that never reaches any
+      guard raiser through the call graph, so nothing vets the config
+      at all.
+    """
+
+    rule_id = "RL305"
+    summary = "every *Unsupported regime guard is live and reached by entry points"
+
+    def check(
+        self, project: ProjectContext, analysis: TensorAnalysis
+    ) -> Iterator[Finding]:
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            guards = self._guard_classes(module)
+            if not guards:
+                continue
+            raisers: Set[str] = set()
+            for qualname, node in self._module_functions(name, module):
+                live, dead = self._guard_raises(node, guards)
+                if live:
+                    raisers.add(qualname)
+                for raise_node in dead:
+                    yield self.finding(
+                        module,
+                        raise_node,
+                        f"{qualname.split(':', 1)[1]}() contains a "
+                        f"statically dead regime guard (raise "
+                        f"{self._raised_name(raise_node, guards)}); the "
+                        "unsupported config sails through -- move the "
+                        "guard onto a live path",
+                    )
+            for qualname, node in self._module_functions(name, module):
+                if not self._is_entry_point(qualname, node):
+                    continue
+                reachable = project.callgraph.reachable([qualname])
+                if reachable & raisers:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"public entry point {node.name}() takes a config but "
+                    "never reaches a "
+                    f"{'/'.join(sorted(guards))} guard; deciders must "
+                    "reject unsupported regimes, not guess -- validate "
+                    "the config before running",
+                )
+
+    @staticmethod
+    def _guard_classes(module: ProjectModule) -> Set[str]:
+        return {
+            stmt.name
+            for stmt in module.context.tree.body
+            if isinstance(stmt, ast.ClassDef) and stmt.name.endswith(_GUARD_SUFFIX)
+        }
+
+    @staticmethod
+    def _module_functions(
+        name: str, module: ProjectModule
+    ) -> Iterator[Tuple[str, ast.FunctionDef]]:
+        for stmt in module.context.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield f"{name}:{stmt.name}", stmt
+            elif isinstance(stmt, ast.ClassDef):
+                for inner in stmt.body:
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield f"{name}:{stmt.name}.{inner.name}", inner
+
+    @classmethod
+    def _guard_raises(
+        cls, function: ast.AST, guards: Set[str]
+    ) -> Tuple[List[ast.Raise], List[ast.Raise]]:
+        """(live, dead) guard raises inside ``function``."""
+        live: List[ast.Raise] = []
+        dead: List[ast.Raise] = []
+
+        def visit(statements: Sequence[ast.stmt], dead_context: bool) -> None:
+            terminated = False
+            for stmt in statements:
+                stmt_dead = dead_context or terminated
+                if isinstance(stmt, ast.Raise):
+                    if cls._raised_name(stmt, guards) is not None:
+                        (dead if stmt_dead else live).append(stmt)
+                    terminated = True
+                    continue
+                if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+                    terminated = True
+                    continue
+                if isinstance(stmt, ast.If):
+                    test_false = (
+                        isinstance(stmt.test, ast.Constant) and not stmt.test.value
+                    )
+                    visit(stmt.body, stmt_dead or test_false)
+                    visit(stmt.orelse, stmt_dead)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    visit(stmt.body, stmt_dead)
+                    visit(stmt.orelse, stmt_dead)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    visit(stmt.body, stmt_dead)
+                elif isinstance(stmt, ast.Try):
+                    visit(stmt.body, stmt_dead)
+                    for handler in stmt.handlers:
+                        visit(handler.body, stmt_dead)
+                    visit(stmt.orelse, stmt_dead)
+                    visit(stmt.finalbody, stmt_dead)
+
+        visit(getattr(function, "body", []), False)
+        return live, dead
+
+    @staticmethod
+    def _raised_name(node: ast.Raise, guards: Set[str]) -> Optional[str]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in guards:
+            return exc.id
+        if isinstance(exc, ast.Attribute) and exc.attr in guards:
+            return exc.attr
+        return None
+
+    @staticmethod
+    def _is_entry_point(qualname: str, node: ast.AST) -> bool:
+        """Public top-level function taking a ``config`` parameter."""
+        local = qualname.split(":", 1)[1]
+        if "." in local or local.startswith("_"):
+            return False
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        params = [arg.arg for arg in node.args.args + node.args.kwonlyargs]
+        return "config" in params

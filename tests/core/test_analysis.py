@@ -129,7 +129,10 @@ class TestIterative:
         approx = A.iterative_cost_approx(r, d)
         assert approx >= exact - 1e-12
         if A.iterative_reliability(r, d) > 0.999:
-            assert approx == pytest.approx(exact, rel=2e-3)
+            # The relative error approaches 2*(1-R) from above, so just
+            # past the R=0.999 gate it can reach ~2.004e-3; 2e-3 exactly
+            # was a knife-edge that Hypothesis eventually found.
+            assert approx == pytest.approx(exact, rel=2.5e-3)
 
     def test_job_distribution_parity_and_mass(self):
         """Totals are d + 2b and the probabilities sum to ~1."""

@@ -325,6 +325,77 @@ class TestFlowMode:
         assert {"RL201", "RL202", "RL203", "RL204", "RL205"} <= rule_ids
 
 
+def write_tensor_package(tmp_path):
+    """A mini ``repro`` package with one tensor defect: an unstable
+    ``np.argsort`` steering a decision path (RL304)."""
+    root = tmp_path / "repro"
+    (root / "dca").mkdir(parents=True)
+    (root / "__init__.py").touch()
+    (root / "dca" / "__init__.py").touch()
+    (root / "dca" / "rank.py").write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            def pick(weights):
+                order = np.argsort(weights)
+                return order[0]
+            """
+        ),
+        encoding="utf-8",
+    )
+    return root
+
+
+class TestTensorMode:
+    def test_tensors_runs_rl3xx_and_exits_one(self, tmp_path, capsys):
+        root = write_tensor_package(tmp_path)
+        assert main(["--tensors", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "RL304" in out
+        assert 'kind="stable"' in out
+
+    def test_tensors_implies_project(self, tmp_path, capsys):
+        # RL1xx ids are selectable under --tensors without --project.
+        root = write_mini_package(tmp_path)
+        assert main(["--tensors", "--select", "RL101", str(root)]) == 1
+        assert "RL101" in capsys.readouterr().out
+
+    def test_rl3xx_needs_tensors(self, tmp_path, capsys):
+        root = write_tensor_package(tmp_path)
+        assert main(["--project", "--select", "RL304", str(root)]) == 2
+        assert "--tensors" in capsys.readouterr().err
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = write_mini_package(tmp_path, violating=False)
+        assert main(["--tensors", str(root)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_list_rules_tags_tensor_scope(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL301", "RL302", "RL303", "RL304", "RL305"):
+            assert rule_id in out
+        assert "[tensor]" in out
+
+    def test_tensors_fix_then_relint_exits_zero(self, tmp_path, capsys):
+        root = write_tensor_package(tmp_path)
+        assert main(["--fix", str(root)]) == 0
+        capsys.readouterr()
+        source = (root / "dca" / "rank.py").read_text(encoding="utf-8")
+        assert 'np.argsort(weights, kind="stable")' in source
+        assert main(["--tensors", str(root)]) == 0
+
+    def test_tensors_sarif_carries_rl3xx(self, tmp_path, capsys):
+        root = write_tensor_package(tmp_path)
+        assert main(["--tensors", "--output", "sarif", str(root)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        (run,) = log["runs"]
+        assert any(r["ruleId"] == "RL304" for r in run["results"])
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"RL301", "RL302", "RL303", "RL304", "RL305"} <= rule_ids
+
+
 class TestFixFlag:
     def test_fix_rewrites_then_lints_clean(self, tmp_path, capsys):
         path = write(tmp_path, "bad.py", "def f(items=[]):\n    return items\n")

@@ -11,6 +11,7 @@ from repro.lint import (
     registered_flow_rules,
     registered_project_rules,
     registered_rules,
+    registered_tensor_rules,
 )
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
@@ -63,6 +64,23 @@ def test_flow_rules_lint_clean():
         rule_ids=[],
         project_rule_ids=[],
         flow_rule_ids=sorted(registered_flow_rules()),
+        jobs=1,
+    )
+    assert report.analyzed_project
+    assert report.findings == [], "\n".join(f.format() for f in report.findings)
+
+
+def test_tensor_rules_lint_clean():
+    # The tensor pass (RL301-RL305) over the real tree: no provably
+    # incompatible broadcasts, no silent dtype drift on the columnar
+    # columns, no mutation through fingerprinted aliases, no unstable
+    # sorts in decision paths, and every ColumnarUnsupported guard is
+    # live and reached.  The acceptance bar for --tensors.
+    report = lint_project(
+        [str(SRC_ROOT), str(REPO_ROOT / "tests"), str(REPO_ROOT / "benchmarks")],
+        rule_ids=[],
+        project_rule_ids=[],
+        tensor_rule_ids=sorted(registered_tensor_rules()),
         jobs=1,
     )
     assert report.analyzed_project

@@ -1,0 +1,496 @@
+"""Seeded-defect corpus for the tensor rules (RL301-RL305).
+
+Every entry in :data:`CORPUS` is one deliberately planted array bug in
+a synthetic ``repro`` package, together with the one rule that must
+catch it; :data:`CLEAN` holds the matching innocent near-misses that
+must produce *zero* findings from *any* tensor rule (the
+under-approximation contract: no invented findings).  Meta-tests pin
+the corpus at >= 10 seeded defects and >= 5 clean near-misses.
+"""
+
+import pytest
+
+from repro.lint.project import run_project_rules
+from repro.lint.tensor_absint import TensorAnalysis
+from repro.lint.tensor_rules import registered_tensor_rules
+
+from tests.lint.test_project_rules import build_project
+
+
+def run_tensor_rule(tmp_path, rule_id, files):
+    project = build_project(tmp_path, files)
+    analysis = TensorAnalysis.build(project.graph, project.callgraph)
+    rule = registered_tensor_rules()[rule_id]()
+    return sorted(rule.check(project, analysis))
+
+
+def run_all_tensor_rules(tmp_path, files):
+    project = build_project(tmp_path, files)
+    analysis = TensorAnalysis.build(project.graph, project.callgraph)
+    findings = []
+    for rule_id in sorted(registered_tensor_rules()):
+        rule = registered_tensor_rules()[rule_id]()
+        findings.extend(rule.check(project, analysis))
+    return sorted(findings)
+
+
+#: (rule id, defect name, fixture files) -- each one planted bug.
+CORPUS = [
+    (
+        "RL301",
+        "broadcast-tasks-against-nodes",
+        {
+            "dca/tally.py": """
+            import numpy as np
+
+            def weighted(tasks, nodes):
+                votes = np.zeros(tasks, dtype=np.int64)
+                weights = np.zeros(nodes, dtype=np.float64)
+                return votes * weights
+            """,
+        },
+    ),
+    (
+        "RL301",
+        "broadcast-unequal-literals",
+        {
+            "dca/grid.py": """
+            import numpy as np
+
+            def overlay():
+                left = np.zeros(8, dtype=np.float64)
+                right = np.ones(9, dtype=np.float64)
+                return left + right
+            """,
+        },
+    ),
+    (
+        "RL301",
+        "mask-length-from-other-axis",
+        {
+            "dca/masking.py": """
+            import numpy as np
+
+            def broken_clock(tasks, nodes):
+                clock = np.zeros(tasks, dtype=np.float64)
+                broken = np.zeros(nodes, dtype=bool)
+                return clock[broken]
+            """,
+        },
+    ),
+    (
+        "RL302",
+        "float-store-into-int-tally",
+        {
+            "dca/votes.py": """
+            import numpy as np
+
+            def credit(tasks):
+                votes = np.zeros(tasks, dtype=np.int64)
+                votes[0] = 1.5
+                return votes
+            """,
+        },
+    ),
+    (
+        "RL302",
+        "narrowing-astype-drops-precision",
+        {
+            "dca/narrow.py": """
+            import numpy as np
+
+            def shrink(tasks):
+                clock = np.zeros(tasks, dtype=np.float64)
+                return clock.astype(np.float32)
+            """,
+        },
+    ),
+    (
+        "RL302",
+        "int-tally-rebound-to-float",
+        {
+            "dca/rates.py": """
+            import numpy as np
+
+            def normalize(tasks, total):
+                counts = np.zeros(tasks, dtype=np.int64)
+                counts = counts / total
+                return counts
+            """,
+        },
+    ),
+    (
+        "RL302",
+        "int-float-equality-compare",
+        {
+            "dca/compare.py": """
+            import numpy as np
+
+            def agreement(tasks):
+                hits = np.zeros(tasks, dtype=np.int64)
+                rates = np.zeros(tasks, dtype=np.float64)
+                return hits == rates
+            """,
+        },
+    ),
+    (
+        "RL303",
+        "view-mutated-after-telemetry-series",
+        {
+            "dca/snapshot.py": """
+            import numpy as np
+
+            def snapshot(rec, jobs):
+                clock = np.zeros(jobs, dtype=np.float64)
+                view = clock[1:]
+                rec.series("clock", clock)
+                view[0] = 3.0
+                return clock
+            """,
+        },
+    ),
+    (
+        "RL303",
+        "base-mutated-after-fingerprinting-view",
+        {
+            "dca/digest.py": """
+            import numpy as np
+
+            def fingerprinted(cells):
+                grid = np.zeros(cells, dtype=np.float64)
+                flat = grid.ravel()
+                digest = sha256(flat)
+                grid[0] = 2.0
+                return digest
+            """,
+        },
+    ),
+    (
+        "RL304",
+        "argsort-without-stable-kind",
+        {
+            "dca/ranking.py": """
+            import numpy as np
+
+            def rank(weights):
+                return np.argsort(weights)
+            """,
+        },
+    ),
+    (
+        "RL304",
+        "unique-indices-over-set-order",
+        {
+            "dca/dedupe.py": """
+            import numpy as np
+
+            def dedupe(values):
+                pool = np.asarray(list(set(values)), dtype=np.float64)
+                uniq, first_index = np.unique(pool, return_index=True)
+                return uniq, first_index
+            """,
+        },
+    ),
+    (
+        "RL304",
+        "float-sum-over-set-derived-array",
+        {
+            "dca/total.py": """
+            import numpy as np
+
+            def total(values):
+                pool = np.asarray(list(set(values)), dtype=np.float64)
+                return np.sum(pool)
+            """,
+        },
+    ),
+    (
+        "RL305",
+        "dead-regime-guard",
+        {
+            "dca/gated.py": """
+            import numpy as np
+
+            class EngineUnsupported(ValueError):
+                pass
+
+            def _validate(config):
+                return None
+                raise EngineUnsupported("unreachable guard")
+
+            def run_engine(config):
+                _validate(config)
+                return np.zeros(config.tasks)
+            """,
+        },
+    ),
+    (
+        "RL305",
+        "entry-point-never-validates",
+        {
+            "dca/unchecked.py": """
+            import numpy as np
+
+            class EngineUnsupported(ValueError):
+                pass
+
+            def _validate(config):
+                if config.arrival_rate:
+                    raise EngineUnsupported("churn is not supported")
+
+            def run_engine(config):
+                return np.zeros(config.tasks)
+            """,
+        },
+    ),
+]
+
+#: Innocent near-misses: same shapes, no bug; every rule must stay silent.
+CLEAN = [
+    (
+        "RL301",
+        "dim-one-broadcasts-fine",
+        {
+            "dca/outer.py": """
+            import numpy as np
+
+            def outer(tasks):
+                col = np.zeros((tasks, 1), dtype=np.float64)
+                row = np.zeros(tasks, dtype=np.float64)
+                return col * row
+            """,
+        },
+    ),
+    (
+        "RL301",
+        "literal-vs-symbol-not-provable",
+        {
+            "dca/maybe.py": """
+            import numpy as np
+
+            def add(tasks):
+                a = np.zeros(tasks, dtype=np.float64)
+                b = np.zeros(500, dtype=np.float64)
+                return a + b
+            """,
+        },
+    ),
+    (
+        "RL302",
+        "int-to-bool-astype-is-masking",
+        {
+            "dca/bits.py": """
+            import numpy as np
+
+            def flags(tasks):
+                bits = np.zeros(tasks, dtype=np.int64)
+                return bits.astype(bool)
+            """,
+        },
+    ),
+    (
+        "RL302",
+        "widening-astype-is-safe",
+        {
+            "dca/widen.py": """
+            import numpy as np
+
+            def as_rates(tasks):
+                counts = np.zeros(tasks, dtype=np.int64)
+                rates = counts.astype(np.float64)
+                return rates
+            """,
+        },
+    ),
+    (
+        "RL303",
+        "copy-sunk-then-original-mutated",
+        {
+            "dca/careful.py": """
+            import numpy as np
+
+            def snapshot(rec, jobs):
+                clock = np.zeros(jobs, dtype=np.float64)
+                rec.series("clock", clock.copy())
+                clock[0] = 1.0
+                return clock
+            """,
+        },
+    ),
+    (
+        "RL304",
+        "stable-kind-sort",
+        {
+            "dca/stable.py": """
+            import numpy as np
+
+            def rank(weights):
+                return np.argsort(weights, kind="stable")
+            """,
+        },
+    ),
+    (
+        "RL304",
+        "sorted-before-reduction",
+        {
+            "dca/ordered.py": """
+            import numpy as np
+
+            def total(values):
+                pool = np.asarray(sorted(set(values)), dtype=np.float64)
+                return np.sum(pool)
+            """,
+        },
+    ),
+    (
+        "RL305",
+        "entry-point-reaches-live-guard",
+        {
+            "dca/guarded.py": """
+            import numpy as np
+
+            class EngineUnsupported(ValueError):
+                pass
+
+            def _validate(config):
+                if config.arrival_rate:
+                    raise EngineUnsupported("churn is not supported")
+
+            def run_engine(config):
+                _validate(config)
+                return np.zeros(config.tasks)
+            """,
+        },
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,name,files", CORPUS, ids=[f"{r}-{n}" for r, n, _ in CORPUS]
+)
+def test_seeded_defect_caught(tmp_path, rule_id, name, files):
+    findings = run_tensor_rule(tmp_path, rule_id, files)
+    assert findings, f"seeded defect {name!r} not caught by {rule_id}"
+    assert all(f.rule_id == rule_id for f in findings)
+
+
+@pytest.mark.parametrize(
+    "rule_id,name,files", CLEAN, ids=[f"{r}-{n}" for r, n, _ in CLEAN]
+)
+def test_innocent_variant_stays_silent(tmp_path, rule_id, name, files):
+    findings = run_all_tensor_rules(tmp_path, files)
+    assert findings == [], f"false positive on clean fixture {name!r}"
+
+
+def test_corpus_has_at_least_ten_seeded_defects():
+    assert len(CORPUS) >= 10
+    assert {rule_id for rule_id, _, _ in CORPUS} == {
+        "RL301",
+        "RL302",
+        "RL303",
+        "RL304",
+        "RL305",
+    }
+
+
+def test_clean_set_has_at_least_five_near_misses():
+    assert len(CLEAN) >= 5
+
+
+def test_tensor_registry_is_exactly_rl301_to_rl305():
+    assert sorted(registered_tensor_rules()) == [
+        "RL301",
+        "RL302",
+        "RL303",
+        "RL304",
+        "RL305",
+    ]
+
+
+def corpus_entry(name):
+    """Look a defect up by name so corpus growth can't shift indices."""
+    for rule_id, entry_name, files in CORPUS:
+        if entry_name == name:
+            return rule_id, files
+    raise KeyError(name)
+
+
+class TestRuleMessages:
+    def test_rl301_names_both_dims(self, tmp_path):
+        rule_id, files = corpus_entry("broadcast-tasks-against-nodes")
+        findings = run_tensor_rule(tmp_path, rule_id, files)
+        assert "'tasks'" in findings[0].message
+        assert "'nodes'" in findings[0].message
+
+    def test_rl302_names_the_column(self, tmp_path):
+        rule_id, files = corpus_entry("float-store-into-int-tally")
+        findings = run_tensor_rule(tmp_path, rule_id, files)
+        assert "'votes'" in findings[0].message
+        assert "truncates" in findings[0].message
+
+    def test_rl303_names_sink_and_line(self, tmp_path):
+        rule_id, files = corpus_entry("view-mutated-after-telemetry-series")
+        findings = run_tensor_rule(tmp_path, rule_id, files)
+        assert "rec.series()" in findings[0].message
+        assert "'view'" in findings[0].message
+        assert "'clock'" in findings[0].message
+
+    def test_rl304_suggests_stable_kind(self, tmp_path):
+        rule_id, files = corpus_entry("argsort-without-stable-kind")
+        findings = run_tensor_rule(tmp_path, rule_id, files)
+        assert 'kind="stable"' in findings[0].message
+
+    def test_rl305_dead_guard_message(self, tmp_path):
+        rule_id, files = corpus_entry("dead-regime-guard")
+        findings = run_tensor_rule(tmp_path, rule_id, files)
+        assert any("dead regime guard" in f.message for f in findings)
+
+    def test_rl305_entry_point_message(self, tmp_path):
+        rule_id, files = corpus_entry("entry-point-never-validates")
+        findings = run_tensor_rule(tmp_path, rule_id, files)
+        assert any("reject" in f.message for f in findings)
+
+
+class TestSuppression:
+    def test_inline_suppression_respected(self, tmp_path):
+        build_project(
+            tmp_path,
+            {
+                "dca/ranking.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "def rank(weights):\n"
+                    "    return np.argsort(weights)  # reprolint: disable=RL304\n"
+                ),
+            },
+        )
+        findings, suppressed, analyzed = run_project_rules(
+            [str(tmp_path)], [], tensor_rule_ids=["RL304"]
+        )
+        assert analyzed
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestInterproceduralShapes:
+    def test_summary_carries_shape_across_calls(self, tmp_path):
+        """A helper's return shape must reach the caller: the incompatible
+        axes only meet across the function boundary."""
+        findings = run_tensor_rule(
+            tmp_path,
+            "RL301",
+            {
+                "dca/helper.py": """
+                import numpy as np
+
+                def node_weights(nodes):
+                    return np.zeros(nodes, dtype=np.float64)
+
+                def combine(tasks, nodes):
+                    votes = np.zeros(tasks, dtype=np.float64)
+                    return votes + node_weights(nodes)
+                """,
+            },
+        )
+        assert findings, "helper return shape did not propagate to the caller"
+        assert all(f.rule_id == "RL301" for f in findings)
