@@ -22,6 +22,16 @@ With ``--profile N`` each suite runs once under :mod:`cProfile` (after
 the timed runs, so profiling overhead never pollutes the numbers) and the
 top ``N`` functions by cumulative time are printed -- the entry point of
 the optimization workflow documented in ``docs/performance.md``.
+
+With ``--history PATH`` each suite additionally appends one JSONL row
+(suite, gated best-seconds, checksum, git sha, timestamp) to PATH --
+the committed trajectory lives at ``benchmarks/history.jsonl``; see
+:mod:`repro.bench.history`.
+
+The ``scale_*`` regime suites also carry a throughput-floor gate: at
+full size the sharded columnar engine must beat the object DES by
+``DES_SPEEDUP_FLOOR``; a report with ``below_des_floor`` set exits
+non-zero like a checksum divergence.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from repro.bench.compare import (
     compare_to_baseline,
     format_comparison,
 )
+from repro.bench.history import append_history
 from repro.bench.report import write_report
 from repro.bench.suites import SUITES, run_suite
 
@@ -87,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_TOLERANCE,
         help="allowed relative slowdown per timing before --compare fails "
         f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="append one schema-versioned JSONL row per suite (suite, gated "
+        "best-seconds, checksum, git sha, timestamp) to PATH "
+        "(e.g. benchmarks/history.jsonl)",
     )
     parser.add_argument(
         "--profile",
@@ -179,6 +198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if repeats is None and args.quick:
         repeats = 1
     diverged = False
+    below_floor = False
     comparisons = []
     for name in names:
         payload = run_suite(
@@ -201,6 +221,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{payload['serial_checksum'][:16]}...",
                 file=sys.stderr,
             )
+        if payload.get("below_des_floor"):
+            below_floor = True
+            print(
+                f"ERROR: {name}: columnar speedup over the DES fell to "
+                f"x{payload['results']['speedup_vs_des']:.1f}, below the "
+                "committed floor",
+                file=sys.stderr,
+            )
+        if args.history is not None:
+            append_history(args.history, name, payload)
         if args.compare is not None:
             comparison = compare_to_baseline(
                 name, payload, args.compare, tolerance=args.tolerance
@@ -214,7 +244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _profile_suite(name, args, args.profile)
     if args.telemetry is not None:
         _telemetry_capture(args)
-    failed = diverged
+    failed = diverged or below_floor
     if comparisons:
         import json
         from pathlib import Path

@@ -14,6 +14,7 @@ sharded columnar task server at 10^6 tasks / 10^5 nodes.
 from __future__ import annotations
 
 import gc
+import math
 import statistics
 import time
 from typing import Callable, Dict, Optional
@@ -34,6 +35,7 @@ from repro.parallel import (
     resolve_jobs,
     run_dca_shards,
     shard_specs,
+    shm_available,
 )
 from repro.sim.engine import Simulator
 
@@ -394,6 +396,180 @@ def bench_scale(
         # Whole-report equality, strictly stronger than checksum equality.
         "diverged": serial_merged != parallel_merged,
     }
+
+
+#: regime name -> config overrides as a function of the pool size.
+#: Churn rates scale with the pool (a bigger pool churns more per unit
+#: time at the same per-node hazard); the spot-check gate and the
+#: deadline are per-assignment / per-run quantities and stay fixed.
+_SCALE_REGIMES: Dict[str, Callable[[int], dict]] = {
+    "churn": lambda nodes: {
+        "arrival_rate": nodes * 0.01,
+        "departure_rate": nodes * 0.01,
+    },
+    "spot": lambda nodes: {"spot_check_rate": 0.05},
+    "deadline": lambda nodes: {"max_time": 6.0},
+}
+
+#: Minimum full-size columnar-vs-DES throughput ratio per regime (the
+#: ``below_des_floor`` gate; see ``docs/performance.md``).
+DES_SPEEDUP_FLOOR = 50.0
+
+
+def _bench_scale_regime(
+    regime: str,
+    *,
+    seed: int,
+    jobs: Optional[int],
+    quick: bool,
+    repeats: int,
+) -> dict:
+    """Shared body of the per-regime ``scale_*`` suites.
+
+    Same shape as :func:`bench_scale` -- sharded columnar serial vs
+    parallel, whole-merged-report identity gated via ``diverged`` -- plus
+    two regime-specific teeth: shard columns travel over the
+    shared-memory transport (so the bench exercises the shm path end to
+    end), and a small object-DES leg of the *same* regime yields
+    ``speedup_vs_des``, gated at full size against
+    :data:`DES_SPEEDUP_FLOOR` via ``below_des_floor``.
+    """
+    engine = "des" if columnar.np is None else "columnar"
+    if engine == "columnar":
+        tasks = 20_000 if quick else 1_000_000
+        nodes = 2_000 if quick else 100_000
+    else:
+        tasks = 2_000 if quick else 10_000
+        nodes = 200 if quick else 1_000
+    shards = 4 if quick else 8
+    transport = "shm" if engine == "columnar" and shm_available() else "pickle"
+    parallel_jobs = max(2, resolve_jobs(jobs))
+    overrides = _SCALE_REGIMES[regime](nodes)
+    params = dict(
+        tasks=tasks,
+        nodes=nodes,
+        shards=shards,
+        reliability=0.7,
+        engine=engine,
+        transport=transport,
+        **overrides,
+    )
+
+    def run(n_jobs: int) -> dict:
+        specs = shard_specs(
+            lambda: IterativeRedundancy(3),
+            tasks=tasks,
+            nodes=nodes,
+            reliability=0.7,
+            shards=shards,
+            seed=seed,
+            engine=engine,
+            **overrides,
+        )
+        return merge_shard_reports(
+            run_dca_shards(specs, jobs=n_jobs, transport=transport)
+        )
+
+    serial_stats, serial_merged = time_callable(
+        lambda: run(1), repeats=repeats, warmup=0
+    )
+    parallel_stats, parallel_merged = time_callable(
+        lambda: run(parallel_jobs), repeats=repeats, warmup=0
+    )
+
+    # The DES reference leg: the same regime at a size the object DES
+    # can stomach, timed once -- throughputs divide, so the legs need
+    # not be the same size.
+    des_tasks = 500 if quick else 2_000
+    des_nodes = max(1, nodes * des_tasks // tasks)
+    des_overrides = _SCALE_REGIMES[regime](des_nodes)
+    des_stats, des_metrics = time_callable(
+        lambda: run_dca(
+            DcaConfig(
+                strategy=IterativeRedundancy(3),
+                tasks=des_tasks,
+                nodes=des_nodes,
+                reliability=0.7,
+                seed=seed,
+                **des_overrides,
+            )
+        ).as_dict(),
+        repeats=1,
+        warmup=0,
+    )
+    # Throughput counts *completed* tasks: under a deadline both engines
+    # stop at the horizon with work undone, and crediting submitted
+    # tasks would reward the engine that finished the smaller fraction.
+    tasks_per_second = serial_merged["tasks"] / serial_stats.best
+    des_tasks_per_second = des_metrics["tasks"] / des_stats.best
+    speedup_vs_des = (
+        tasks_per_second / des_tasks_per_second
+        if des_tasks_per_second
+        else math.inf
+    )
+
+    serial_checksum = serial_merged["checksum"]
+    parallel_checksum = parallel_merged["checksum"]
+    timings = {
+        "serial": serial_stats.as_dict(),
+        "parallel": parallel_stats.as_dict(),
+    }
+    results = {
+        "merged": serial_merged,
+        "tasks_per_second": tasks_per_second,
+        "speedup": serial_stats.best / parallel_stats.best,
+        "des_tasks_per_second": des_tasks_per_second,
+        "des_reference": {"tasks": des_tasks, "nodes": des_nodes, **des_overrides},
+        "speedup_vs_des": speedup_vs_des,
+    }
+    if quick:
+        results["timings_ungated"] = timings
+    return {
+        "seed": seed,
+        "quick": quick,
+        "jobs": parallel_jobs,
+        "params": params,
+        "timings": {} if quick else timings,
+        "results": results,
+        "serial_checksum": serial_checksum,
+        "parallel_checksum": parallel_checksum,
+        "checksum": serial_checksum,
+        "diverged": serial_merged != parallel_merged,
+        # Only meaningful at full columnar size; quick runs are noise.
+        "below_des_floor": (
+            engine == "columnar" and not quick and speedup_vs_des < DES_SPEEDUP_FLOOR
+        ),
+    }
+
+
+@_suite
+def bench_scale_churn(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """Million-task tier under node churn (sharded columnar, shm transport)."""
+    return _bench_scale_regime(
+        "churn", seed=seed, jobs=jobs, quick=quick, repeats=repeats
+    )
+
+
+@_suite
+def bench_scale_spot(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """Million-task tier with spot-check diversion (sharded columnar, shm)."""
+    return _bench_scale_regime(
+        "spot", seed=seed, jobs=jobs, quick=quick, repeats=repeats
+    )
+
+
+@_suite
+def bench_scale_deadline(
+    *, seed: int = 0, jobs: Optional[int] = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """Million-task tier under a ``max_time`` horizon (sharded columnar, shm)."""
+    return _bench_scale_regime(
+        "deadline", seed=seed, jobs=jobs, quick=quick, repeats=repeats
+    )
 
 
 def run_suite(

@@ -19,21 +19,54 @@ The model is the paper's own analysis regime:
   :class:`~repro.dca.failures.ByzantineCollusion`, where each task has
   one true and one colluding wrong value.  Tallies are two int columns.
 
+Beyond the contention-free core, the engine covers the paper's fault
+regimes (Figures 5b/5c/6):
+
+* **Churn** keeps a struct-of-arrays node pool (reliability, speed, and
+  stable id columns) and applies Poisson departure/arrival batches at
+  wave boundaries: the global *frontier* clock advances by each wave's
+  maximum span, and the next wave's node draws see the compacted pool.
+  This is a wave-boundary model of the DES's continuous churn -- a node
+  cannot quit *mid-job* here (in the DES that job times out), so churn
+  results match the DES statistically, not byte-for-byte.
+* **Spot-checks** divert assignments to known-answer jobs exactly like
+  :class:`~repro.dca.taskserver.TaskServer` (each assignment attempt
+  draws the gate again, so one slot can divert repeatedly), drawing
+  everything spot-related from a dedicated stream so real task outcomes
+  are untouched.  Per-node pass/fail tallies accumulate in grow-only
+  columns and a node with any failed check counts as blacklisted,
+  mirroring :meth:`~repro.core.credibility.CredibilityManager.spot_check`.
+  Unlike the DES, tallies are not cut off by the end-of-run
+  ``StopSimulation`` (a shutdown artifact, not model semantics).
+* **``max_time`` horizons** compare wave-end clocks against the
+  deadline: a wave whose slowest job lands past the horizon is
+  truncated -- its dispatches count (the DES enqueues them before the
+  horizon) but the task never completes, contributes no timeouts (its
+  deadline events fire past the horizon), and is excluded from the
+  per-task aggregates, exactly like an unfinished DES task.
+
 Strategy decisions stay behind the existing interfaces: the built-in
 strategies (iterative, progressive, traditional, complex-iterative) have
 vectorised deciders that replay their ``decide(VoteState)`` arithmetic
 over whole columns, and any other non-node-aware strategy falls back to
 a per-task loop through a real :class:`~repro.core.types.VoteState` --
-slower, but semantically the strategy's own code.
+slower, but semantically the strategy's own code.  The new regime
+kernels follow the same pattern: each vectorised kernel in ``_KERNELS``
+has a scalar fallback in ``_KERNEL_FALLBACKS`` consuming the *same*
+pre-drawn arrays, and the cross-check tests swap them in and assert
+byte-identical reports.
 
-Configurations outside the regime (churn, spot-checks, node-aware
-strategies, non-binary failure models, time horizons) are rejected with
-:class:`ColumnarUnsupported`; use the DES for those.
+Configurations outside the regime (node-aware strategies, non-binary
+failure models) are rejected with :class:`ColumnarUnsupported`; use the
+DES for those.
 
 Determinism: all draws come from seeded numpy generators whose seeds
 derive from the config seed via :class:`~repro.sim.rng.RngRegistry`
 spawn names, so same-config runs are byte-identical (given a numpy
-version) and the columnar engine never perturbs the DES streams.
+version) and the columnar engine never perturbs the DES streams.  Spawn
+seeds are stateless hashes of their names, so the ``churn`` and
+``spot-checks`` streams never perturb the four legacy streams either: a
+no-churn, no-spot-check run draws exactly what it always drew.
 """
 
 from __future__ import annotations
@@ -59,6 +92,7 @@ from repro.obs.names import (
     DCA_ACCEPTS,
     DCA_DISPATCHES,
     DCA_MAKESPAN,
+    DCA_SPOT_CHECKS,
     DCA_SUBMITS,
     DCA_TIMEOUTS,
 )
@@ -89,7 +123,10 @@ class ColumnarReport:
 
     Mirrors the Section 4.1 measures of :class:`~repro.dca.report.DcaReport`
     (and its :meth:`as_dict` keys exactly), but holds aggregates instead
-    of a million per-task records.
+    of a million per-task records.  Per-task means cover *completed*
+    tasks only, matching the DES report's records-based aggregation;
+    under a ``max_time`` horizon ``tasks_completed`` can fall short of
+    ``tasks_submitted`` and the means are ``nan`` when nothing finished.
     """
 
     strategy: str
@@ -104,6 +141,10 @@ class ColumnarReport:
     makespan: float
     jobs_timed_out: int
     seed: int
+    spot_checks: int = 0
+    nodes_blacklisted: int = 0
+    nodes_joined: int = 0
+    nodes_departed: int = 0
 
     @property
     def system_reliability(self) -> float:
@@ -146,6 +187,13 @@ class ColumnarReport:
         ]
         if self.jobs_timed_out:
             lines.append(f"jobs timed out          {self.jobs_timed_out}")
+        if self.spot_checks:
+            lines.append(f"spot checks issued      {self.spot_checks}")
+            lines.append(f"nodes blacklisted       {self.nodes_blacklisted}")
+        if self.nodes_joined or self.nodes_departed:
+            lines.append(
+                f"churn                   +{self.nodes_joined} / -{self.nodes_departed}"
+            )
         return "\n".join(lines)
 
 
@@ -235,6 +283,94 @@ def _decide_fallback(strategy, a, b):
 
 
 # ---------------------------------------------------------------------------
+# Regime kernels (vectorised + scalar fallbacks, the decider pattern)
+# ---------------------------------------------------------------------------
+
+#: name -> vectorised kernel.  The engine always dispatches through this
+#: table so tests can swap in the scalar fallback from
+#: ``_KERNEL_FALLBACKS`` and assert byte-identical reports -- both
+#: implementations consume the *same* pre-drawn arrays, so any
+#: divergence is a kernel bug, not RNG drift.
+_KERNELS: Dict[str, Callable] = {}
+_KERNEL_FALLBACKS: Dict[str, Callable] = {}
+
+
+def _kernel(name: str, fallback: Callable):
+    def register(fn: Callable) -> Callable:
+        _KERNELS[name] = fn
+        _KERNEL_FALLBACKS[name] = fallback
+        return fn
+
+    return register
+
+
+def _pool_compact_fallback(reliability, speed, ids, keep, new_rel, new_speed, new_ids):
+    """Scalar mirror of the churn pool compaction: keep, then append."""
+    out_rel = [float(reliability[i]) for i in range(reliability.shape[0]) if keep[i]]
+    out_speed = [float(speed[i]) for i in range(speed.shape[0]) if keep[i]]
+    out_ids = [int(ids[i]) for i in range(ids.shape[0]) if keep[i]]
+    for i in range(new_rel.shape[0]):
+        out_rel.append(float(new_rel[i]))
+        out_speed.append(float(new_speed[i]))
+        out_ids.append(int(new_ids[i]))
+    return (
+        np.asarray(out_rel, dtype=np.float64),
+        np.asarray(out_speed, dtype=np.float64),
+        np.asarray(out_ids, dtype=np.int64),
+    )
+
+
+@_kernel("pool_compact", _pool_compact_fallback)
+def _pool_compact(reliability, speed, ids, keep, new_rel, new_speed, new_ids):
+    """Apply one churn batch to the pool columns: departures drop rows
+    (boolean keep-mask), arrivals append rows.  Returns the new columns."""
+    return (
+        np.concatenate((reliability[keep], new_rel)),
+        np.concatenate((speed[keep], new_speed)),
+        np.concatenate((ids[keep], new_ids)),
+    )
+
+
+def _spot_tally_fallback(ids, passed, passes, fails):
+    """Scalar mirror of the spot-check tally: one manager call per check."""
+    for i in range(ids.shape[0]):
+        if passed[i]:
+            passes[ids[i]] += 1
+        else:
+            fails[ids[i]] += 1
+
+
+@_kernel("spot_tally", _spot_tally_fallback)
+def _spot_tally(ids, passed, passes, fails):
+    """Fold one wave's spot-check outcomes into the per-node tallies.
+
+    In-place, duplicate-safe (``np.add.at``): the exact column analogue
+    of :meth:`CredibilityManager.spot_check` called once per check.
+    """
+    np.add.at(passes, ids[passed], 1)
+    np.add.at(fails, ids[~passed], 1)
+
+
+def _horizon_cut_fallback(start, span, horizon):
+    """Scalar mirror of the horizon truncation mask."""
+    out = np.zeros(start.shape[0], dtype=bool)
+    for i in range(start.shape[0]):
+        out[i] = start[i] + span[i] > horizon
+    return out
+
+
+@_kernel("horizon_cut", _horizon_cut_fallback)
+def _horizon_cut(start, span, horizon):
+    """Which active tasks' waves end past the horizon (truncated).
+
+    Matches the DES clock rule exactly: events *at* the horizon still
+    fire (:meth:`EventQueue.pop_due` stops strictly after ``limit``), so
+    a wave is truncated only when its slowest job lands strictly later.
+    """
+    return start + span > horizon
+
+
+# ---------------------------------------------------------------------------
 # Engine
 # ---------------------------------------------------------------------------
 
@@ -246,12 +382,6 @@ def _validate(config: DcaConfig) -> None:
             "the columnar engine models the binary colluding-Byzantine "
             f"failure model only, got {type(model).__name__}; use run_dca"
         )
-    if config.arrival_rate or config.departure_rate:
-        raise ColumnarUnsupported("churn is not supported; use run_dca")
-    if config.spot_check_rate:
-        raise ColumnarUnsupported("spot-checks are not supported; use run_dca")
-    if config.max_time is not None:
-        raise ColumnarUnsupported("max_time horizons are not supported; use run_dca")
     if is_node_aware(config.strategy):
         raise ColumnarUnsupported(
             "node-aware strategies need per-node bookkeeping; use run_dca"
@@ -276,6 +406,34 @@ def run_columnar_dca(
     Returns:
         A :class:`ColumnarReport` with the Section 4.1 measures.
     """
+    report, _ = _run_columnar(config, recorder, max_waves, collect_columns=False)
+    return report
+
+
+def run_columnar_dca_columns(
+    config: DcaConfig,
+    recorder: Optional[Recorder] = None,
+    *,
+    max_waves: int = 10_000,
+) -> Tuple[ColumnarReport, Dict[str, "np.ndarray"]]:
+    """Like :func:`run_columnar_dca`, but also return per-task columns.
+
+    The columns cover *completed* tasks in task order --
+    ``response_time`` (float64), ``jobs_used`` / ``waves`` (int64) and
+    ``correct`` (bool) -- the raw material the shared-memory shard
+    transport ships instead of pickled payloads (see
+    :mod:`repro.parallel.shm`).
+    """
+    return _run_columnar(config, recorder, max_waves, collect_columns=True)
+
+
+def _run_columnar(
+    config: DcaConfig,
+    recorder: Optional[Recorder],
+    max_waves: int,
+    *,
+    collect_columns: bool,
+) -> Tuple[ColumnarReport, Dict[str, "np.ndarray"]]:
     _require_numpy()
     _validate(config)
     strategy = config.strategy
@@ -286,20 +444,39 @@ def run_columnar_dca(
     rng_select = np.random.default_rng(registry.spawn("selection").seed)
     rng_failures = np.random.default_rng(registry.spawn("failures").seed)
     rng_durations = np.random.default_rng(registry.spawn("durations").seed)
+    # Spawn seeds are stateless name hashes, so these two extra streams
+    # cannot perturb the four legacy ones: the contention-free path draws
+    # exactly the sequence it drew before churn/spot-check support.
+    rng_churn = np.random.default_rng(registry.spawn("churn").seed)
+    rng_spot = np.random.default_rng(registry.spawn("spot-checks").seed)
 
     tasks = config.tasks
     timeout = config.effective_timeout
     silent_prob = config.unresponsive_prob
+    spot_rate = config.spot_check_rate
+    horizon = config.max_time
+    arrival_rate = config.arrival_rate
+    departure_rate = config.departure_rate
+    has_churn = bool(arrival_rate or departure_rate)
+    has_spot = spot_rate > 0.0
 
     # Struct-of-arrays node pool: one column per node attribute.  A
     # homogeneous pool (fixed reliability, no speed spread) collapses to
     # scalars: per-job draws are then iid and no node indexing is needed.
+    # Churn forces real columns even when homogeneous -- the pool's
+    # *membership* varies over time -- plus a stable-id column so
+    # spot-check tallies survive compaction.
     distribution = config.reliability_distribution
     homogeneous = config.speed_spread == 0.0 and not _draws(distribution)
+    track_nodes = not homogeneous or has_churn
+    node_reliability = None
+    node_speed = None
+    node_ids = None
     if homogeneous:
-        node_reliability = None
-        node_speed = None
         scalar_reliability = distribution.sample(rng_failures)  # no draw
+        if has_churn:
+            node_reliability = np.full(config.nodes, float(scalar_reliability))
+            node_speed = np.ones(config.nodes, dtype=np.float64)
     else:
         node_reliability = np.asarray(
             [distribution.sample(_NumpyRandom(rng_nodes)) for _ in range(config.nodes)],
@@ -309,6 +486,16 @@ def run_columnar_dca(
             -1.0, 1.0, config.nodes
         )
         scalar_reliability = 0.0
+    if has_churn:
+        node_ids = np.arange(config.nodes, dtype=np.int64)
+    next_node_id = config.nodes
+
+    # Grow-only per-node spot-check tallies, indexed by stable node id
+    # (== pool position when there is no churn).
+    spot_passes = spot_fails = None
+    if has_spot:
+        spot_passes = np.zeros(config.nodes, dtype=np.int64)
+        spot_fails = np.zeros(config.nodes, dtype=np.int64)
 
     # Per-task columns (the struct-of-arrays _TaskState).
     true_votes = np.zeros(tasks, dtype=np.int64)
@@ -317,6 +504,7 @@ def run_columnar_dca(
     waves = np.zeros(tasks, dtype=np.int64)
     clock = np.zeros(tasks, dtype=np.float64)
     accepted_true = np.zeros(tasks, dtype=bool)
+    completed = np.zeros(tasks, dtype=bool)
 
     active = np.arange(tasks, dtype=np.int64)
     pending = np.full(tasks, strategy.initial_jobs(), dtype=np.int64)
@@ -327,6 +515,11 @@ def run_columnar_dca(
 
     total_dispatched = 0
     timed_out = 0
+    spot_checks = 0
+    joins = 0
+    departures = 0
+    frontier = 0.0  # global clock: the latest wave-end seen so far
+    churn_clock = 0.0  # pool state is current up to this time
     wave = 0
     while active.size:
         wave += 1
@@ -335,19 +528,78 @@ def run_columnar_dca(
                 f"columnar run exceeded {max_waves} waves; "
                 "the strategy may not be converging"
             )
+
+        # -- churn step: bring the pool forward to the global frontier.
+        # Wave boundaries are the model's churn resolution: departures
+        # drop uniform rows, arrivals append freshly drawn nodes, both
+        # Poisson in the frontier time elapsed since the last step.
+        if has_churn and wave > 1:
+            now = frontier if horizon is None else min(frontier, horizon)
+            dt = now - churn_clock
+            churn_clock = now
+            pool_size = node_reliability.shape[0]
+            n_dep = 0
+            n_arr = 0
+            if departure_rate and dt > 0.0:
+                # The DES departure event only fires while >1 node is
+                # alive; the batch equivalent caps at pool_size - 1.
+                n_dep = min(int(rng_churn.poisson(departure_rate * dt)), pool_size - 1)
+            if arrival_rate and dt > 0.0:
+                n_arr = int(rng_churn.poisson(arrival_rate * dt))
+            if n_dep or n_arr:
+                keep = np.ones(pool_size, dtype=bool)
+                if n_dep:
+                    gone = rng_churn.choice(pool_size, size=n_dep, replace=False)
+                    keep[gone] = False
+                if n_arr:
+                    new_rel = np.asarray(
+                        [
+                            distribution.sample(_NumpyRandom(rng_churn))
+                            for _ in range(n_arr)
+                        ],
+                        dtype=np.float64,
+                    )
+                    if config.speed_spread > 0.0:
+                        new_speed = 1.0 + config.speed_spread * rng_churn.uniform(
+                            -1.0, 1.0, n_arr
+                        )
+                    else:
+                        new_speed = np.ones(n_arr, dtype=np.float64)
+                    new_ids = np.arange(
+                        next_node_id, next_node_id + n_arr, dtype=np.int64
+                    )
+                    next_node_id += n_arr
+                    if has_spot:
+                        spot_passes = np.concatenate(
+                            (spot_passes, np.zeros(n_arr, dtype=np.int64))
+                        )
+                        spot_fails = np.concatenate(
+                            (spot_fails, np.zeros(n_arr, dtype=np.int64))
+                        )
+                else:
+                    new_rel = np.empty(0, dtype=np.float64)
+                    new_speed = np.empty(0, dtype=np.float64)
+                    new_ids = np.empty(0, dtype=np.int64)
+                node_reliability, node_speed, node_ids = _KERNELS["pool_compact"](
+                    node_reliability, node_speed, node_ids, keep, new_rel, new_speed, new_ids
+                )
+                departures += n_dep
+                joins += n_arr
+
         counts = pending[active]
         segments = np.concatenate(([0], np.cumsum(counts)[:-1]))
         jobs = int(counts.sum())
         total_dispatched += jobs
+        pool_size = node_reliability.shape[0] if track_nodes else config.nodes
 
         # Job draws, one column per quantity over this wave's jobs.
-        if homogeneous:
-            reliability = scalar_reliability
-            speed = 1.0
-        else:
-            node_index = rng_select.integers(0, config.nodes, jobs)
+        if track_nodes:
+            node_index = rng_select.integers(0, pool_size, jobs)
             reliability = node_reliability[node_index]
             speed = node_speed[node_index]
+        else:
+            reliability = scalar_reliability
+            speed = 1.0
         silent = (
             rng_failures.random(jobs) < silent_prob
             if silent_prob
@@ -361,46 +613,171 @@ def run_columnar_dca(
         responded = ~silent & (duration < timeout)
         response_time = np.where(responded, duration, timeout)
 
+        # -- spot-checks: replay the task server's assignment gate.  Every
+        # assignment attempt draws once; a diverted slot is re-assigned
+        # and draws again, so the rounds shrink geometrically.  All
+        # spot-related randomness comes from its own stream, so enabling
+        # spot-checks never perturbs the task outcome draws above.
+        if has_spot:
+            start = clock[active]  # this wave's dispatch time, per task
+            spot_starts = []
+            pending_starts = np.repeat(start, counts)
+            while pending_starts.size:
+                gate = rng_spot.random(pending_starts.size)
+                pending_starts = pending_starts[gate < spot_rate]
+                if pending_starts.size:
+                    spot_starts.append(pending_starts)
+            if spot_starts:
+                spot_start = np.concatenate(spot_starts)
+                n_spot = spot_start.shape[0]
+                spot_checks += n_spot
+                total_dispatched += n_spot
+                if track_nodes:
+                    spot_index = rng_spot.integers(0, pool_size, n_spot)
+                    spot_reliability = node_reliability[spot_index]
+                    spot_speed = node_speed[spot_index]
+                else:
+                    spot_index = rng_spot.integers(0, config.nodes, n_spot)
+                    spot_reliability = scalar_reliability
+                    spot_speed = 1.0
+                spot_silent = (
+                    rng_spot.random(n_spot) < silent_prob
+                    if silent_prob
+                    else np.zeros(n_spot, dtype=bool)
+                )
+                spot_correct = rng_spot.random(n_spot) < spot_reliability
+                spot_duration = (
+                    rng_spot.uniform(config.duration_low, config.duration_high, n_spot)
+                    * spot_speed
+                )
+                spot_responded = ~spot_silent & (spot_duration < timeout)
+                # The server learns an outcome when its event fires: the
+                # completion (pass or wrong answer) or the deadline
+                # (silent / too slow -> also a timed-out job).  Under a
+                # horizon, events past it never fire.
+                if horizon is None:
+                    completion_seen = np.ones(n_spot, dtype=bool)
+                    deadline_seen = np.ones(n_spot, dtype=bool)
+                else:
+                    completion_seen = spot_start + spot_duration <= horizon
+                    deadline_seen = spot_start + timeout <= horizon
+                spot_timed_out = ~spot_responded & deadline_seen
+                timed_out += int(spot_timed_out.sum())
+                seen = np.where(spot_responded, completion_seen, deadline_seen)
+                passed = spot_responded & spot_correct
+                ids = node_ids[spot_index] if has_churn else spot_index
+                _KERNELS["spot_tally"](
+                    ids[seen], passed[seen], spot_passes, spot_fails
+                )
+
         # Fold the wave into the tallies with segment reductions.
         true_wave = np.add.reduceat((responded & correct).astype(np.int64), segments)
         false_wave = np.add.reduceat((responded & ~correct).astype(np.int64), segments)
-        true_votes[active] += true_wave
-        false_votes[active] += false_wave
-        timed_out += jobs - int(responded.sum())
-        # Wave-synchronous clock: the wave resolves at its slowest job.
-        clock[active] += np.maximum.reduceat(response_time, segments)
-        jobs_used[active] += counts
-        waves[active] += 1
+        span = np.maximum.reduceat(response_time, segments)
 
-        accept, value, more = decider(
-            strategy, true_votes[active], false_votes[active]
-        )
+        if horizon is not None:
+            truncated = _KERNELS["horizon_cut"](clock[active], span, horizon)
+        else:
+            truncated = None
+        if truncated is not None and truncated.any():
+            # Truncated waves were dispatched (counted above) but resolve
+            # past the horizon: no votes land, no decision happens, and
+            # their deadline events never fire (a wave with any timed-out
+            # job spans the full timeout, which the cut proves is past
+            # the horizon) -- so they add nothing to jobs_timed_out.
+            live = ~truncated
+            live_tasks = active[live]
+            wave_end = clock[active] + span
+            responded_per_task = np.add.reduceat(responded.astype(np.int64), segments)
+            timed_out += int((counts[live] - responded_per_task[live]).sum())
+            true_votes[live_tasks] += true_wave[live]
+            false_votes[live_tasks] += false_wave[live]
+            clock[live_tasks] += span[live]
+            jobs_used[live_tasks] += counts[live]
+            waves[live_tasks] += 1
+            frontier = max(frontier, float(wave_end.max()))
+            active = live_tasks
+            if not active.size:
+                break
+            accept, value, more = decider(
+                strategy, true_votes[active], false_votes[active]
+            )
+        else:
+            true_votes[active] += true_wave
+            false_votes[active] += false_wave
+            timed_out += jobs - int(responded.sum())
+            # Wave-synchronous clock: the wave resolves at its slowest job.
+            clock[active] += span
+            jobs_used[active] += counts
+            waves[active] += 1
+            frontier = max(frontier, float(clock[active].max()))
+            accept, value, more = decider(
+                strategy, true_votes[active], false_votes[active]
+            )
         done = active[accept]
         accepted_true[done] = value[accept]
+        completed[done] = True
         pending[active] = more
         active = active[~accept]
 
-    makespan = float(clock.max()) if tasks else 0.0
+    completed_count = int(completed.sum())
+    if horizon is not None and completed_count < tasks:
+        # Incomplete at the horizon: the DES clock stops exactly there.
+        makespan = float(horizon)
+    elif completed_count:
+        # All done (or no horizon): the run ends at the last decision.
+        makespan = float(clock[completed].max())
+    else:
+        makespan = 0.0
     if rec is not None:
         rec.count(DCA_DISPATCHES, total_dispatched)
         rec.count(DCA_TIMEOUTS, timed_out)
-        rec.count(DCA_ACCEPTS, tasks)
+        rec.count(DCA_ACCEPTS, completed_count)
+        if spot_checks:
+            rec.count(DCA_SPOT_CHECKS, spot_checks)
         rec.gauge(DCA_MAKESPAN, makespan)
 
-    return ColumnarReport(
+    if completed_count:
+        done_clock = clock[completed]
+        mean_response = float(done_clock.mean())
+        max_response = float(done_clock.max())
+        mean_waves = float(waves[completed].mean())
+        total_jobs = int(jobs_used[completed].sum())
+        max_jobs = int(jobs_used[completed].max())
+    else:
+        # The DES report yields nan means over zero records, 0 extremes.
+        mean_response = math.nan
+        max_response = math.nan
+        mean_waves = math.nan
+        total_jobs = 0
+        max_jobs = 0
+    report = ColumnarReport(
         strategy=strategy.describe(),
         tasks_submitted=tasks,
-        tasks_completed=tasks,
-        tasks_correct=int(accepted_true.sum()),
-        total_jobs=int(jobs_used.sum()),
-        max_jobs_per_task=int(jobs_used.max()) if tasks else 0,
-        mean_response_time=float(clock.mean()) if tasks else 0.0,
-        max_response_time=float(clock.max()) if tasks else 0.0,
-        mean_waves=float(waves.mean()) if tasks else 0.0,
+        tasks_completed=completed_count,
+        tasks_correct=int(accepted_true[completed].sum()),
+        total_jobs=total_jobs,
+        max_jobs_per_task=max_jobs,
+        mean_response_time=mean_response,
+        max_response_time=max_response,
+        mean_waves=mean_waves,
         makespan=makespan,
         jobs_timed_out=timed_out,
         seed=config.seed,
+        spot_checks=spot_checks,
+        nodes_blacklisted=int((spot_fails > 0).sum()) if has_spot else 0,
+        nodes_joined=joins,
+        nodes_departed=departures,
     )
+    columns: Dict[str, "np.ndarray"] = {}
+    if collect_columns:
+        columns = {
+            "response_time": clock[completed],
+            "jobs_used": jobs_used[completed],
+            "waves": waves[completed],
+            "correct": accepted_true[completed],
+        }
+    return report, columns
 
 
 # ---------------------------------------------------------------------------

@@ -46,8 +46,9 @@ class DcaConfig:
         arrival_rate: Poisson rate of new volunteers joining (churn).
         departure_rate: Poisson rate of nodes quitting (churn).
         spot_check_rate: Fraction of assignments diverted to spot-check
-            jobs (only meaningful with a credibility strategy; pure
-            overhead otherwise).
+            jobs (they consume nodes and count in dispatch/timeout
+            totals; with a credibility strategy the outcomes also feed
+            its reputation tallies -- pure overhead otherwise).
         max_time: Optional simulated-time horizon; ``None`` runs until the
             computation completes.
         queue: Event-queue structure for the DES -- ``"heap"`` (default)

@@ -8,8 +8,9 @@ Responsibilities:
 * watch deadlines: a job silent past the timeout counts as a failed
   response (Section 2.2) and its ``None`` outcome is folded into the vote,
 * when a task's wave completes, ask the strategy to accept or extend,
-* optionally divert a fraction of assignments to *spot-check* jobs when
-  the strategy carries a credibility manager (the Sarmenta comparator).
+* optionally divert a fraction of assignments to *spot-check* jobs
+  (pure overhead on their own; with a credibility-manager strategy --
+  the Sarmenta comparator -- the outcomes feed its reputation tallies).
 """
 
 from __future__ import annotations
@@ -100,7 +101,8 @@ class TaskServer:
         duration_low / duration_high: Uniform nominal job durations.
         timeout: Deadline after which a silent job counts as failed.
         spot_check_rate: Probability an assignment is converted into a
-            spot-check when the strategy exposes a credibility manager.
+            spot-check; outcomes feed the strategy's credibility manager
+            when it exposes one.
         on_all_done: Called once every submitted task has a verdict.
         recorder: Telemetry recorder (see :mod:`repro.obs`); defaults to
             the simulator's.  Disabled recorders normalize to ``None``,
@@ -233,11 +235,12 @@ class TaskServer:
         self.pump()
 
     def _maybe_spot_check(self) -> bool:
-        return (
-            self._credibility_manager is not None
-            and self.spot_check_rate > 0.0
-            and self._rng_spot.random() < self.spot_check_rate
-        )
+        # Spot-checks divert assignments whenever a rate is set -- with a
+        # credibility manager the outcomes feed its reputation tallies;
+        # without one they are pure overhead (the DcaConfig contract).
+        # The rate gate short-circuits first, so rate-0 runs never touch
+        # the spot-check stream.
+        return self.spot_check_rate > 0.0 and self._rng_spot.random() < self.spot_check_rate
 
     def _assign(self, job: _Job) -> None:
         node = self.pool.acquire_random(self._rng_select)

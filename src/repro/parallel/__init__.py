@@ -50,10 +50,19 @@ from repro.parallel.reducer import (
 from repro.parallel.seeds import replicate_seeds, shard_seeds
 from repro.parallel.shards import (
     ShardSpec,
+    merge_shard_columns,
     merge_shard_reports,
+    release_shard_columns,
     run_dca_shard,
     run_dca_shards,
     shard_specs,
+)
+from repro.parallel.shm import (
+    ColumnBlockHandle,
+    read_columns,
+    release_columns,
+    shm_available,
+    write_columns,
 )
 from repro.parallel.volunteer import (
     VolunteerProblemSpec,
@@ -62,6 +71,7 @@ from repro.parallel.volunteer import (
 )
 
 __all__ = [
+    "ColumnBlockHandle",
     "DcaReplicateSpec",
     "MetricAggregate",
     "ReplicateEnvelope",
@@ -75,10 +85,14 @@ __all__ = [
     "default_chunk_size",
     "fingerprint_of",
     "mean",
+    "merge_shard_columns",
     "merge_shard_reports",
     "merge_telemetry",
     "ordered",
     "parallel_map",
+    "read_columns",
+    "release_columns",
+    "release_shard_columns",
     "replicate_seeds",
     "resolve_jobs",
     "run_dca_shard",
@@ -89,5 +103,7 @@ __all__ = [
     "run_volunteer_problems",
     "shard_seeds",
     "shard_specs",
+    "shm_available",
     "stderr",
+    "write_columns",
 ]

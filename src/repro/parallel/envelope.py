@@ -45,6 +45,12 @@ class ReplicateEnvelope:
             mapping recorded inside the worker when the spec asked for
             telemetry.  Like ``worker_pid``, it is observability sidecar
             data: excluded from fingerprints and metric aggregation.
+        columns: Optional :class:`~repro.parallel.shm.ColumnBlockHandle`
+            referencing the replicate's bulk per-task columns in shared
+            memory (the out-of-band transport; see
+            :mod:`repro.parallel.shm`).  A reference, not data: excluded
+            from fingerprints, and whoever consumes the envelope owns
+            the segment's release.
     """
 
     position: int
@@ -54,3 +60,4 @@ class ReplicateEnvelope:
     duration: float = 0.0
     worker_pid: int = 0
     telemetry: Optional[Dict[str, Any]] = None
+    columns: Optional[Any] = None

@@ -28,6 +28,7 @@ DES run):
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, List, Optional, Tuple
 
 #: Default priority for scheduled events.  Lower values fire first among
@@ -265,13 +266,27 @@ class CalendarQueue:
         self._buckets: List[List[_HeapEntry]] = [[] for _ in range(nbuckets)]
         self._nbuckets = nbuckets
         self._width = width
-        day = int(self._last_time / width)
+        day = self._day_of(self._last_time)
         self._current = day % nbuckets
         #: Upper time bound of the current bucket's ongoing year visit.
         self._bucket_top = (day + 1) * width
 
+    def _day_of(self, time: float) -> int:
+        """Which bucket-width interval ``time`` falls in.
+
+        Events at non-finite times are legal -- an infinite inter-event
+        delay is the model's "never" (e.g. a vanishing churn rate) --
+        but cannot be hashed to a day.  Day 0 is as correct as any
+        other: bucket placement never affects pop order (an inf entry
+        fails every in-year test and is reached only by the global-min
+        fallback); it only affects the O(1) steady-state, which an
+        at-infinity event does not have anyway.
+        """
+        quotient = time / self._width
+        return int(quotient) if math.isfinite(quotient) else 0
+
     def _insert(self, entry: _HeapEntry) -> None:
-        self._buckets[int(entry[0] / self._width) % self._nbuckets].append(entry)
+        self._buckets[self._day_of(entry[0]) % self._nbuckets].append(entry)
         self._size += 1
 
     def _resize(self, nbuckets: int) -> None:
@@ -297,7 +312,11 @@ class CalendarQueue:
         """
         if len(entries) < 2:
             return max(self._width, 1e-9)
-        times = sorted(entry[0] for entry in entries)
+        # At-infinity events carry no spacing information and would blow
+        # the width out to inf/nan; estimate from the finite schedule.
+        times = sorted(entry[0] for entry in entries if math.isfinite(entry[0]))
+        if len(times) < 2:
+            return max(self._width, 1e-9)
         sample = times[: max(2, min(len(times), _CALENDAR_WIDTH_SAMPLE))]
         span = sample[-1] - sample[0]
         if span <= 0.0:
@@ -445,7 +464,7 @@ class CalendarQueue:
             # real pop: repositioning on a peek (or a beyond-limit probe)
             # would let later, earlier-timed pushes land behind the scan
             # position and be missed by the in-year pass.
-            day = int(entry[0] / self._width)
+            day = self._day_of(entry[0])
             self._remove(
                 bucket, best, entry, day % self._nbuckets, (day + 1) * self._width
             )

@@ -78,6 +78,34 @@ class TestSuites:
         again = run_suite("scale", seed=1, quick=True, repeats=1)
         assert payload["checksum"] == again["checksum"]
 
+    @pytest.mark.parametrize("name", ["scale_churn", "scale_spot", "scale_deadline"])
+    def test_regime_scale_suites_are_stable_and_converge(self, name):
+        payload = run_suite(name, seed=1, quick=True, repeats=1)
+        assert payload["diverged"] is False
+        assert payload["serial_checksum"] == payload["parallel_checksum"]
+        # Quick runs gate checksum identity only; timings ride ungated.
+        assert payload["timings"] == {}
+        assert "timings_ungated" in payload["results"]
+        assert payload["below_des_floor"] is False
+        assert payload["results"]["speedup_vs_des"] > 0
+        merged = payload["results"]["merged"]
+        if payload["params"]["transport"] == "shm":
+            assert merged["columns"]["tasks"] == merged["tasks"]
+        again = run_suite(name, seed=1, quick=True, repeats=1)
+        assert again["checksum"] == payload["checksum"]
+
+    def test_regime_scale_suites_carry_their_regime(self):
+        churn = run_suite("scale_churn", seed=1, quick=True, repeats=1)
+        merged = churn["results"]["merged"]
+        assert merged["nodes_joined"] > 0
+        assert merged["nodes_departed"] > 0
+        spot = run_suite("scale_spot", seed=1, quick=True, repeats=1)
+        assert spot["results"]["merged"]["spot_checks"] > 0
+        deadline = run_suite("scale_deadline", seed=1, quick=True, repeats=1)
+        merged = deadline["results"]["merged"]
+        assert merged["tasks"] <= merged["tasks_submitted"]
+        assert merged["makespan"] <= 6.0
+
     def test_obs_overhead_gates_a_ratio_and_agrees_across_variants(self):
         payload = run_suite("obs_overhead", seed=1, quick=True, repeats=1)
         ratio = payload["timings"]["null_recorder_ratio"]["best_seconds"]
@@ -134,6 +162,21 @@ class TestCli:
         code = bench_main(["fake_sweep", "--output-dir", str(tmp_path)])
         assert code == 1
         assert "diverged" in capsys.readouterr().err
+
+    def test_below_des_floor_is_a_failure(self, tmp_path, capsys, monkeypatch):
+        def fake_suite(**kwargs):
+            return {
+                "seed": 0,
+                "checksum": "aa",
+                "diverged": False,
+                "below_des_floor": True,
+                "results": {"speedup_vs_des": 12.0},
+            }
+
+        monkeypatch.setitem(SUITES, "fake_scale", fake_suite)
+        code = bench_main(["fake_scale", "--output-dir", str(tmp_path)])
+        assert code == 1
+        assert "below the" in capsys.readouterr().err
 
     def test_unknown_suite_exits_two(self, capsys):
         assert bench_main(["warp_drive"]) == 2

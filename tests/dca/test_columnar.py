@@ -29,9 +29,15 @@ from repro.dca import (
     DcaConfig,
     NonColludingFailures,
     run_columnar_dca,
+    run_columnar_dca_columns,
     run_dca,
 )
-from repro.dca.columnar import _DECIDERS, _decide_fallback
+from repro.dca.columnar import (
+    _DECIDERS,
+    _KERNEL_FALLBACKS,
+    _KERNELS,
+    _decide_fallback,
+)
 from repro.obs import TelemetryRecorder
 
 
@@ -39,6 +45,21 @@ def _config(strategy, **overrides):
     params = dict(tasks=2_000, nodes=300, reliability=0.7, seed=17)
     params.update(overrides)
     return DcaConfig(strategy=strategy, **params)
+
+
+def _kernel_cross_check(monkeypatch, config):
+    """Vectorised kernels vs scalar fallbacks: byte-identical reports.
+
+    Both implementations consume the same pre-drawn arrays (the decider
+    cross-check pattern), so equality here is exact, not statistical.
+    """
+    fast = run_columnar_dca(config)
+    for name, fallback in _KERNEL_FALLBACKS.items():
+        monkeypatch.setitem(_KERNELS, name, fallback)
+    slow = run_columnar_dca(config)
+    assert fast == slow
+    assert fast.as_dict() == slow.as_dict()
+    return fast
 
 
 class TestDeterminism:
@@ -127,18 +148,6 @@ class TestDeciderEquivalence:
 
 
 class TestSupportedRegime:
-    def test_rejects_churn(self):
-        with pytest.raises(ColumnarUnsupported, match="churn"):
-            run_columnar_dca(_config(IterativeRedundancy(3), arrival_rate=0.5))
-
-    def test_rejects_spot_checks(self):
-        with pytest.raises(ColumnarUnsupported, match="spot-check"):
-            run_columnar_dca(_config(IterativeRedundancy(3), spot_check_rate=0.1))
-
-    def test_rejects_max_time(self):
-        with pytest.raises(ColumnarUnsupported, match="max_time"):
-            run_columnar_dca(_config(IterativeRedundancy(3), max_time=100.0))
-
     def test_rejects_non_colluding_failures(self):
         with pytest.raises(ColumnarUnsupported, match="colluding"):
             run_columnar_dca(
@@ -163,6 +172,220 @@ class TestSupportedRegime:
         )
         assert report.tasks_submitted == 2_000
         assert report.jobs_timed_out > 0
+
+
+class TestChurnRegime:
+    """Wave-boundary churn: statistically the DES's continuous churn."""
+
+    def _config(self, **overrides):
+        params = dict(
+            tasks=2_000,
+            nodes=400,
+            arrival_rate=2.0,
+            departure_rate=2.0,
+            unresponsive_prob=0.1,
+            seed=7,
+        )
+        params.update(overrides)
+        return _config(IterativeRedundancy(3), **params)
+
+    def test_deterministic_and_counts_churn(self):
+        first = run_columnar_dca(self._config())
+        second = run_columnar_dca(self._config())
+        assert first == second
+        assert first.nodes_joined > 0
+        assert first.nodes_departed > 0
+
+    def test_kernels_match_scalar_fallbacks(self, monkeypatch):
+        report = _kernel_cross_check(monkeypatch, self._config(tasks=400))
+        assert report.nodes_joined > 0
+
+    def test_matches_des_statistically(self):
+        # Reliability, cost, and wave counts are contention-insensitive
+        # (assumption 1: contention delays *when* jobs run, not what they
+        # report).  Makespans differ under contention -- the DES queues
+        # on the 400-node pool -- so the churn *totals* differ too; what
+        # must match is the churn flux per unit of simulated time.
+        columnar = run_columnar_dca(self._config())
+        des = run_dca(self._config())
+        assert columnar.system_reliability == pytest.approx(
+            des.system_reliability, abs=0.03
+        )
+        assert columnar.cost_factor == pytest.approx(des.cost_factor, rel=0.05)
+        assert columnar.as_dict()["mean_waves"] == pytest.approx(
+            des.as_dict()["mean_waves"], rel=0.05
+        )
+        for report in (columnar, des):
+            assert report.nodes_joined / report.makespan == pytest.approx(2.0, rel=0.3)
+            assert report.nodes_departed / report.makespan == pytest.approx(
+                2.0, rel=0.3
+            )
+
+    def test_churn_streams_do_not_perturb_legacy_draws(self):
+        # Spawn seeds are stateless name hashes: a no-churn run after the
+        # churn feature landed draws exactly what it drew before it.
+        baseline = run_columnar_dca(_config(IterativeRedundancy(3)))
+        explicit = run_columnar_dca(
+            _config(IterativeRedundancy(3), arrival_rate=0.0, departure_rate=0.0)
+        )
+        assert baseline == explicit
+
+    def test_heterogeneous_churn_pool(self):
+        config = self._config(
+            tasks=400,
+            reliability=BetaReliability.with_mean(0.7),
+            speed_spread=0.4,
+        )
+        assert run_columnar_dca(config) == run_columnar_dca(config)
+
+
+class TestSpotCheckRegime:
+    """Spot-check diversion and per-node tallies, taskserver semantics."""
+
+    def _config(self, **overrides):
+        params = dict(tasks=2_000, nodes=300, spot_check_rate=0.2, seed=11)
+        params.update(overrides)
+        return _config(IterativeRedundancy(3), **params)
+
+    def test_deterministic_and_counts_checks(self):
+        first = run_columnar_dca(self._config())
+        second = run_columnar_dca(self._config())
+        assert first == second
+        assert first.spot_checks > 0
+        # reliability 0.7: plenty of failed checks -> blacklist entries
+        assert 0 < first.nodes_blacklisted <= 300
+
+    def test_kernels_match_scalar_fallbacks(self, monkeypatch):
+        report = _kernel_cross_check(monkeypatch, self._config(tasks=400))
+        assert report.spot_checks > 0
+
+    def test_spot_stream_does_not_perturb_task_outcomes(self):
+        # All spot draws come from the dedicated stream, so enabling
+        # spot-checks changes overhead counters but no task verdict.
+        baseline = run_columnar_dca(_config(IterativeRedundancy(3)))
+        spotted = run_columnar_dca(self._config(seed=17, spot_check_rate=0.3))
+        assert spotted.tasks_correct == baseline.tasks_correct
+        assert spotted.total_jobs == baseline.total_jobs
+        assert spotted.mean_response_time == baseline.mean_response_time
+
+    def test_zero_rate_never_draws_the_spot_stream(self):
+        baseline = run_columnar_dca(_config(IterativeRedundancy(3)))
+        explicit = run_columnar_dca(_config(IterativeRedundancy(3), spot_check_rate=0.0))
+        assert baseline == explicit
+
+    def test_matches_des_statistically(self):
+        # Contention-free sizing (nodes >> concurrent jobs): the DES's
+        # queueing delays vanish and the engines are comparable on all
+        # measures, including the spot-check volume.
+        config = dict(tasks=400, nodes=6_000, spot_check_rate=0.2, seed=11)
+        columnar = run_columnar_dca(self._config(**config))
+        des = run_dca(self._config(**config))
+        assert columnar.system_reliability == pytest.approx(
+            des.system_reliability, abs=0.05
+        )
+        assert columnar.cost_factor == pytest.approx(des.cost_factor, rel=0.1)
+        assert columnar.spot_checks == pytest.approx(des.spot_checks, rel=0.2)
+
+    def test_tally_matches_credibility_manager_replay(self):
+        # The column tallies are the exact analogue of one
+        # CredibilityManager.spot_check call per check.
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, 40, size=500).astype(np.int64)
+        passed = rng.random(500) < 0.8
+        passes = np.zeros(40, dtype=np.int64)
+        fails = np.zeros(40, dtype=np.int64)
+        _KERNELS["spot_tally"](ids, passed, passes, fails)
+        manager = CredibilityManager()
+        for node_id, ok in zip(ids.tolist(), passed.tolist()):
+            manager.spot_check(node_id, passed=ok)
+        assert manager.spot_checks_issued == 500
+        assert int((fails > 0).sum()) == manager.blacklist_events
+        for node_id in range(40):
+            assert bool(fails[node_id] > 0) == manager.is_blacklisted(node_id)
+
+
+class TestMaxTimeRegime:
+    """Deadline horizons with partial-wave truncation, DES clock rules."""
+
+    def _config(self, **overrides):
+        # Contention-free sizing, so completion counts are comparable
+        # with the DES (queueing would otherwise dominate who finishes).
+        params = dict(tasks=400, nodes=6_000, max_time=2.8, seed=2)
+        params.update(overrides)
+        return _config(IterativeRedundancy(3), **params)
+
+    def test_deterministic_and_truncates(self):
+        first = run_columnar_dca(self._config())
+        second = run_columnar_dca(self._config())
+        assert first == second
+        assert 0 < first.tasks_completed < first.tasks_submitted
+        assert first.makespan == 2.8
+
+    def test_kernels_match_scalar_fallbacks(self, monkeypatch):
+        report = _kernel_cross_check(monkeypatch, self._config())
+        assert report.tasks_completed < report.tasks_submitted
+
+    def test_generous_horizon_is_a_noop(self):
+        baseline = run_columnar_dca(_config(IterativeRedundancy(3)))
+        bounded = run_columnar_dca(_config(IterativeRedundancy(3), max_time=1e9))
+        assert bounded.makespan == baseline.makespan
+        assert bounded.tasks_completed == baseline.tasks_completed
+        assert bounded.as_dict() == baseline.as_dict()
+
+    def test_nothing_completes_before_a_tiny_horizon(self):
+        import math
+
+        report = run_columnar_dca(self._config(max_time=0.1))
+        # duration_low is 0.5: no wave can land by 0.1.
+        assert report.tasks_completed == 0
+        assert report.makespan == 0.1
+        assert math.isnan(report.mean_response_time)
+        assert report.total_jobs == 0
+        assert report.max_jobs_per_task == 0
+
+    def test_matches_des_statistically(self):
+        for seed in (1, 2, 3):
+            columnar = run_columnar_dca(self._config(seed=seed))
+            des = run_dca(self._config(seed=seed))
+            assert columnar.tasks_completed == pytest.approx(
+                des.tasks_completed, rel=0.15
+            )
+            assert columnar.system_reliability == pytest.approx(
+                des.system_reliability, abs=0.05
+            )
+            assert columnar.makespan == des.makespan == 2.8
+
+    def test_timeouts_with_horizon_match_des_statistically(self):
+        config = dict(max_time=4.2, unresponsive_prob=0.2, timeout=3.0, seed=2)
+        columnar = run_columnar_dca(self._config(**config))
+        des = run_dca(self._config(**config))
+        assert columnar.jobs_timed_out > 0
+        assert columnar.jobs_timed_out == pytest.approx(des.jobs_timed_out, rel=0.15)
+        assert columnar.tasks_completed == pytest.approx(des.tasks_completed, rel=0.15)
+
+
+class TestResultColumns:
+    """run_columnar_dca_columns: the shm transport's raw material."""
+
+    def test_columns_are_consistent_with_the_report(self):
+        report, columns = run_columnar_dca_columns(_config(IterativeRedundancy(3)))
+        assert report == run_columnar_dca(_config(IterativeRedundancy(3)))
+        assert set(columns) == {"response_time", "jobs_used", "waves", "correct"}
+        for column in columns.values():
+            assert column.shape[0] == report.tasks_completed
+        assert int(columns["correct"].sum()) == report.tasks_correct
+        assert int(columns["jobs_used"].sum()) == report.total_jobs
+        assert int(columns["jobs_used"].max()) == report.max_jobs_per_task
+        assert float(columns["response_time"].max()) == report.max_response_time
+        assert float(
+            columns["response_time"].sum()
+        ) / report.tasks_completed == pytest.approx(report.mean_response_time)
+
+    def test_columns_cover_completed_tasks_only_under_horizon(self):
+        config = _config(IterativeRedundancy(3), tasks=400, nodes=6_000, max_time=2.8)
+        report, columns = run_columnar_dca_columns(config)
+        assert 0 < report.tasks_completed < 400
+        assert columns["response_time"].shape[0] == report.tasks_completed
 
 
 class TestEdgeRegimes:

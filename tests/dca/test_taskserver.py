@@ -111,9 +111,21 @@ class TestSpotChecking:
         report = run(strategy, spot_check_rate=0.2, tasks=100)
         assert report.total_jobs_dispatched >= report.total_jobs + report.spot_checks
 
-    def test_no_spot_checks_without_credibility_manager(self):
+    def test_spot_checks_without_credibility_manager_are_overhead(self):
+        """Plain strategies still divert spot-checks: pure overhead.
+
+        The diverted jobs count in the dispatch totals but feed no
+        reputation state and never perturb task verdicts.
+        """
         report = run(IterativeRedundancy(3), spot_check_rate=0.5, tasks=20)
-        assert report.spot_checks == 0
+        assert report.spot_checks > 0
+        assert report.tasks_completed == 20
+        assert report.total_jobs_dispatched >= report.total_jobs + report.spot_checks
+
+    def test_zero_rate_never_draws_the_spot_stream(self):
+        baseline = run(IterativeRedundancy(3), tasks=20)
+        explicit = run(IterativeRedundancy(3), spot_check_rate=0.0, tasks=20)
+        assert baseline.to_json() == explicit.to_json()
 
     def test_bad_nodes_get_blacklisted(self):
         manager = CredibilityManager(assumed_fault_fraction=0.5)

@@ -1,0 +1,104 @@
+"""Unit tests for the shared-memory column transport
+(:mod:`repro.parallel.shm`): round-trips, segment lifetime, and handle
+layout."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.parallel.shm import (
+    read_columns,
+    release_columns,
+    shm_available,
+    write_columns,
+)
+
+pytestmark = pytest.mark.skipif(not shm_available(), reason="shared memory unavailable")
+
+
+def _columns(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "response_time": rng.random(n),
+        "jobs_used": rng.integers(1, 9, size=n),
+        "waves": rng.integers(1, 4, size=n),
+        "correct": rng.random(n) < 0.7,
+    }
+
+
+class TestRoundTrip:
+    def test_values_dtypes_and_order_survive(self):
+        columns = _columns()
+        handle = write_columns(columns)
+        assert handle.columns() == tuple(columns)
+        out = read_columns(handle)
+        for name, column in columns.items():
+            assert out[name].dtype == column.dtype
+            assert np.array_equal(out[name], column)
+
+    def test_copies_survive_the_segment(self):
+        handle = write_columns(_columns())
+        out = read_columns(handle)  # unlinks
+        # The arrays are private copies, not views of the dead segment.
+        assert float(out["response_time"].sum()) == pytest.approx(
+            float(_columns()["response_time"].sum())
+        )
+
+    def test_empty_columns_round_trip(self):
+        columns = {
+            "response_time": np.empty(0, dtype=np.float64),
+            "jobs_used": np.empty(0, dtype=np.int64),
+        }
+        out = read_columns(write_columns(columns))
+        assert out["response_time"].shape == (0,)
+        assert out["jobs_used"].dtype == np.int64
+
+    def test_non_contiguous_input_is_handled(self):
+        strided = np.arange(200, dtype=np.float64)[::2]
+        assert not strided.flags["C_CONTIGUOUS"] or strided.base is not None
+        out = read_columns(write_columns({"response_time": strided}))
+        assert np.array_equal(out["response_time"], strided)
+
+
+class TestLifetime:
+    def test_read_unlinks_by_default(self):
+        handle = write_columns(_columns())
+        read_columns(handle)
+        with pytest.raises(FileNotFoundError):
+            read_columns(handle)
+
+    def test_read_can_leave_the_segment_alive(self):
+        handle = write_columns(_columns())
+        first = read_columns(handle, unlink=False)
+        second = read_columns(handle)  # now unlinks
+        assert np.array_equal(first["response_time"], second["response_time"])
+
+    def test_release_is_idempotent_and_none_safe(self):
+        handle = write_columns(_columns())
+        release_columns(handle)
+        release_columns(handle)  # already gone: tolerated
+        release_columns(None)
+
+
+class TestHandle:
+    def test_handle_is_small_and_picklable(self):
+        import pickle
+
+        handle = write_columns(_columns(n=10_000))
+        try:
+            payload = pickle.dumps(handle)
+            # The whole point: ~80 KB of columns, a sub-kilobyte handle.
+            assert len(payload) < 1024
+            assert pickle.loads(payload) == handle
+        finally:
+            release_columns(handle)
+
+    def test_layout_records_offsets_in_declaration_order(self):
+        columns = _columns(n=8)
+        handle = write_columns(columns)
+        try:
+            offsets = [start for _, (_, _, start) in handle.layout]
+            assert offsets == sorted(offsets)
+            assert handle.nbytes == sum(c.nbytes for c in columns.values())
+        finally:
+            release_columns(handle)

@@ -109,6 +109,27 @@ class TestCalendarBasics:
         popped = [queue.pop().payload for _ in range(2000)]
         assert popped == sorted(times)
 
+    def test_events_at_infinity_are_legal_and_pop_last(self):
+        # An infinite inter-event delay is the model's "never" (e.g. an
+        # expovariate draw under a vanishing churn rate).  The heap
+        # handles it natively; the calendar must too -- found by the
+        # churn-config property test below.
+        inf = float("inf")
+        queue = CalendarQueue()
+        never = queue.push(inf, _noop, payload="never")
+        queue.push(1.0, _noop, payload="soon")
+        queue.push(2.0, _noop, payload="later")
+        # Resizing with an inf entry pending must not crash either.
+        for index in range(40):
+            queue.push(3.0 + index, _noop, payload=index)
+        assert queue.pop().payload == "soon"
+        assert queue.pop().payload == "later"
+        for _ in range(40):
+            queue.pop()
+        assert queue.peek_time() == inf
+        assert queue.pop() is never
+        assert queue.pop() is None
+
     def test_mass_cancellation_triggers_compaction(self):
         queue = CalendarQueue()
         events = [queue.push(float(i), _noop) for i in range(4 * COMPACT_MIN_CANCELLED)]
@@ -231,6 +252,39 @@ class TestHeapCalendarEquivalence:
         assert [r.__dict__ for r in heap_report.records] == [
             r.__dict__ for r in calendar_report.records
         ]
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        arrival=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        departure=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        spot=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    )
+    def test_dca_byte_identical_under_churn_and_spot_checks(
+        self, seed, arrival, departure, spot
+    ):
+        # Churn-heavy and spot-check runs are the event-densest configs
+        # the DES produces (join/leave events interleave with deadlines
+        # and diverted spot jobs at the same timestamps), so they stress
+        # exactly the tie-breaking the calendar queue must preserve.
+        # to_json() covers every per-task record and overhead counter:
+        # equality is byte-level, not statistical.
+        def run(kind):
+            return run_dca(
+                DcaConfig(
+                    strategy=IterativeRedundancy(2),
+                    tasks=40,
+                    nodes=16,
+                    reliability=0.7,
+                    seed=seed,
+                    arrival_rate=arrival,
+                    departure_rate=departure,
+                    spot_check_rate=spot,
+                    queue=kind,
+                )
+            )
+
+        assert run("heap").to_json() == run("calendar").to_json()
 
     def test_config_rejects_unknown_queue(self):
         with pytest.raises(ValueError, match="queue"):
